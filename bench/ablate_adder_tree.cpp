@@ -1,0 +1,50 @@
+// Ablation: adder-tree / MAC-array width.
+//
+// DESIGN.md calls out the lane width as the central datapath sizing
+// choice: wider trees finish each dot product in fewer cycles but cost
+// area/energy. The bench sweeps the width on one task with the host link
+// made effectively infinite, isolating pure compute cycles, and reports
+// modeled dynamic energy from the power model (op counts are width-
+// independent; only time and therefore static/clock energy move).
+#include <cstdio>
+
+#include "common.hpp"
+#include "power/power_model.hpp"
+
+int main() {
+  using namespace mann;
+  const auto suite = bench::load_suite();
+  const runtime::TaskArtifacts& art = suite.front();  // qa1
+
+  bench::print_header(
+      "Ablation: adder-tree width vs compute cycles (qa1, 200 stories, "
+      "link unbound)");
+  std::printf("%-8s %14s %14s %12s %14s\n", "width", "cycles",
+              "cycles/story", "time@100MHz", "energy (J)");
+  bench::print_rule();
+
+  const power::FpgaPowerModel power_model;
+  for (const std::size_t width : {2U, 4U, 8U, 16U, 32U, 64U}) {
+    accel::AccelConfig cfg;
+    cfg.clock_hz = 100.0e6;
+    cfg.timing.lane_width = width;
+    cfg.link.words_per_second = cfg.link.model_words_per_second;
+    cfg.link.per_story_latency = 0.0;
+    cfg.link.result_latency = 0.0;
+
+    const accel::Accelerator device(cfg, accel::compile_model(art.model));
+    const accel::RunResult run = device.run(art.dataset.test);
+    const auto report = power_model.estimate(run, cfg.clock_hz);
+    std::printf("%-8zu %14llu %14.1f %10.3f ms %14.6f\n", width,
+                static_cast<unsigned long long>(run.total_cycles),
+                static_cast<double>(run.total_cycles) /
+                    static_cast<double>(art.dataset.test.size()),
+                run.seconds * 1e3, report.total_joules);
+  }
+  std::printf(
+      "\nexpected shape: cycles fall with width and saturate once the "
+      "width covers the embedding\ndimension (E = %zu); beyond that only "
+      "tree latency changes.\n",
+      art.model.config().embedding_dim);
+  return 0;
+}

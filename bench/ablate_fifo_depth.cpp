@@ -1,0 +1,48 @@
+// Ablation: FIFO depth in the streaming path.
+//
+// The dataflow architecture's FIFOs decouple the host link from CONTROL;
+// this sweep shows how shallow queues cause link stalls (full rejects)
+// without changing results, and where the depth stops mattering.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mann;
+  const auto suite = bench::load_suite();
+  const runtime::TaskArtifacts& art = suite.front();  // qa1
+
+  bench::print_header("Ablation: FIFO depth (qa1, 200 stories, 100 MHz)");
+  std::printf("%-8s %14s %16s %16s %14s\n", "depth", "cycles",
+              "link rejects", "max occupancy", "prediction ok");
+  bench::print_rule();
+
+  const accel::DeviceProgram prog = accel::compile_model(art.model);
+  std::vector<std::int32_t> reference;
+  for (const std::size_t depth : {2U, 4U, 8U, 16U, 32U, 64U, 128U}) {
+    accel::AccelConfig cfg;
+    cfg.clock_hz = 100.0e6;
+    cfg.fifo_depth = depth;
+    const accel::Accelerator device(cfg, prog);
+    const accel::RunResult run = device.run(art.dataset.test);
+    if (reference.empty()) {
+      for (const auto& s : run.stories) {
+        reference.push_back(s.prediction);
+      }
+    }
+    bool same = true;
+    for (std::size_t i = 0; i < run.stories.size(); ++i) {
+      same &= run.stories[i].prediction == reference[i];
+    }
+    std::printf("%-8zu %14llu %16llu %16zu %14s\n", depth,
+                static_cast<unsigned long long>(run.total_cycles),
+                static_cast<unsigned long long>(
+                    run.fifo_in_stats.full_rejects),
+                run.fifo_in_stats.max_occupancy, same ? "yes" : "NO");
+  }
+  std::printf(
+      "\nexpected shape: results are depth-independent (back-pressure is "
+      "lossless); rejects fall\nas depth grows and occupancy saturates at "
+      "the natural burst size of the stream.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: synchronous (request/response) vs pipelined host runtime.
+//
+// The paper's measured time structure is additive (T_io + C/f), implying
+// a host that waits for each answer before sending the next story. A
+// pipelined host overlaps transfer with compute; this bench quantifies
+// what that software change alone would buy on the same device — results
+// are bit-identical either way (asserted by the invariance tests).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mann;
+  const auto suite = bench::load_suite();
+  const runtime::TaskArtifacts& art = suite.front();  // qa1
+
+  bench::print_header(
+      "Ablation: synchronous vs pipelined host runtime (qa1, 200 stories)");
+  std::printf("%-10s %16s %16s %12s\n", "clock", "sync (ms)",
+              "pipelined (ms)", "speedup");
+  bench::print_rule();
+
+  for (const double mhz : {25.0, 50.0, 75.0, 100.0}) {
+    auto measure = [&](bool synchronous) {
+      accel::AccelConfig cfg;
+      cfg.clock_hz = mhz * 1.0e6;
+      cfg.link.synchronous_stories = synchronous;
+      const accel::Accelerator device(cfg, accel::compile_model(art.model));
+      return device.run(art.dataset.test).seconds * 1e3;
+    };
+    const double t_sync = measure(true);
+    const double t_pipe = measure(false);
+    std::printf("%-7.0fMHz %16.3f %16.3f %11.2fx\n", mhz, t_sync, t_pipe,
+                t_sync / t_pipe);
+  }
+  std::printf(
+      "\nexpected shape: pipelining hides compute under transfer, so the "
+      "gain is largest at low\nclocks (where compute is a big slice to "
+      "hide) and shrinks toward the pure-I/O floor at\nhigh clocks — a "
+      "host-software mitigation for the very bottleneck §V identifies.\n");
+  return 0;
+}

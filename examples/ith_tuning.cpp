@@ -1,0 +1,90 @@
+// ith_tuning: choosing the inference-thresholding operating point.
+//
+// The conclusion of the paper expects the data-based MIPS to apply to any
+// large-class inference problem; the knob a deployment has to set is the
+// threshold constant rho. This example sweeps rho on one task and prints
+// the accuracy / comparisons / early-exit trade-off, then recommends the
+// largest-savings point within a caller-specified accuracy budget.
+//
+// Usage: ith_tuning [task_number=1] [max_accuracy_drop_pct=0.5]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/ith_eval.hpp"
+#include "runtime/measurement.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mann;
+  int task_number = 1;
+  double budget_pct = 0.5;
+  if (argc > 1) {
+    task_number = std::atoi(argv[1]);
+  }
+  if (argc > 2) {
+    budget_pct = std::atof(argv[2]);
+  }
+  if (task_number < 1 || task_number > 20) {
+    std::fprintf(stderr, "task number must be 1..20\n");
+    return 1;
+  }
+  const auto task = static_cast<data::TaskId>(task_number);
+
+  runtime::PrepareConfig prep = runtime::default_prepare_config();
+  prep.train.epochs = 25;
+  std::printf("training MemN2N on %s ...\n", data::task_name(task).c_str());
+  const runtime::TaskArtifacts art = runtime::prepare_task(task, prep);
+
+  const core::IthEvaluation base =
+      core::evaluate_full_mips(art.model, art.dataset.test);
+  std::printf("baseline (full MIPS): accuracy %.2f%%, %zu comparisons\n\n",
+              100.0 * static_cast<double>(base.accuracy),
+              art.model.config().vocab_size);
+
+  std::printf("%-8s %10s %14s %12s %12s\n", "rho", "accuracy",
+              "cmp/story", "saved", "early-exit");
+  struct Point {
+    float rho;
+    core::IthEvaluation ev;
+  };
+  std::vector<Point> points;
+  for (const float rho : {1.0F, 0.999F, 0.99F, 0.97F, 0.95F, 0.92F, 0.9F,
+                          0.85F, 0.8F}) {
+    core::IthConfig cfg = prep.ith;
+    cfg.rho = rho;
+    const auto ith = core::InferenceThresholding::calibrate(
+        art.model, art.dataset.train, cfg);
+    const auto ev = core::evaluate_ith(art.model, ith, art.dataset.test);
+    points.push_back({rho, ev});
+    std::printf("%-8.3f %9.2f%% %14.1f %11.1f%% %11.1f%%\n",
+                static_cast<double>(rho),
+                100.0 * static_cast<double>(ev.accuracy),
+                static_cast<double>(ev.mean_comparisons),
+                100.0 * (1.0 - static_cast<double>(
+                                   ev.normalized_comparisons)),
+                100.0 * static_cast<double>(ev.early_exit_rate));
+  }
+
+  // Pick the most aggressive point within the accuracy budget.
+  const double floor =
+      static_cast<double>(base.accuracy) - budget_pct / 100.0;
+  const Point* best = nullptr;
+  for (const Point& p : points) {
+    if (static_cast<double>(p.ev.accuracy) >= floor &&
+        (best == nullptr ||
+         p.ev.mean_comparisons < best->ev.mean_comparisons)) {
+      best = &p;
+    }
+  }
+  if (best != nullptr) {
+    std::printf(
+        "\nrecommended rho = %.3f within a %.2f%%-point accuracy budget: "
+        "%.1f%% fewer output-layer comparisons.\n",
+        static_cast<double>(best->rho), budget_pct,
+        100.0 * (1.0 - static_cast<double>(
+                           best->ev.normalized_comparisons)));
+  } else {
+    std::printf("\nno rho met the accuracy budget; keep full MIPS.\n");
+  }
+  return 0;
+}

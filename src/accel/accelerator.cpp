@@ -1,0 +1,112 @@
+#include "accel/accelerator.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "accel/control.hpp"
+#include "accel/host_link.hpp"
+#include "accel/input_write.hpp"
+#include "accel/mem_module.hpp"
+#include "accel/output_module.hpp"
+#include "accel/read_module.hpp"
+#include "accel/state.hpp"
+#include "sim/simulator.hpp"
+
+namespace mann::accel {
+
+double RunResult::early_exit_rate() const noexcept {
+  if (stories.empty()) {
+    return 0.0;
+  }
+  std::size_t exits = 0;
+  for (const StoryOutcome& s : stories) {
+    exits += s.early_exit ? 1 : 0;
+  }
+  return static_cast<double>(exits) / static_cast<double>(stories.size());
+}
+
+double RunResult::mean_output_probes() const noexcept {
+  if (stories.empty()) {
+    return 0.0;
+  }
+  std::uint64_t probes = 0;
+  for (const StoryOutcome& s : stories) {
+    probes += s.output_probes;
+  }
+  return static_cast<double>(probes) / static_cast<double>(stories.size());
+}
+
+Accelerator::Accelerator(AccelConfig config, DeviceProgram program)
+    : config_(config), program_(std::move(program)) {
+  if (config_.clock_hz <= 0.0) {
+    throw std::invalid_argument("Accelerator: clock must be positive");
+  }
+  if (config_.ith_enabled && !program_.has_ith_tables()) {
+    throw std::invalid_argument(
+        "Accelerator: ITH enabled but the program has no threshold tables");
+  }
+}
+
+RunResult Accelerator::run(
+    std::span<const data::EncodedStory> stories) const {
+  AcceleratorState state(program_);
+  sim::Fifo<StreamWord> fifo_in("FIFO_IN", config_.fifo_depth);
+  sim::Fifo<std::int32_t> fifo_out("FIFO_OUT", config_.fifo_depth);
+  sim::Fifo<InputCmd> cmd_fifo("CMD_FIFO", config_.fifo_depth);
+
+  HostLinkModule host(config_, encode_workload(program_.model_words(),
+                                               stories),
+                      fifo_in, fifo_out);
+  ControlModule control(state, fifo_in, cmd_fifo);
+  InputWriteModule input_write(state, config_, cmd_fifo);
+  MemModule mem(state, config_);
+  ReadModule read(state, config_);
+  OutputModule output(state, config_, fifo_out);
+
+  sim::Simulator simulator;
+  // Producer-to-consumer order along the write path, then the read path.
+  simulator.add_module(host);
+  simulator.add_module(control);
+  simulator.add_module(input_write);
+  simulator.add_module(read);
+  simulator.add_module(mem);
+  simulator.add_module(output);
+
+  const std::size_t expected = stories.size();
+  simulator.run_until(
+      [&] { return host.answers().size() >= expected; },
+      config_.watchdog_cycles);
+
+  RunResult result;
+  result.total_cycles = simulator.now();
+  result.seconds =
+      static_cast<double>(result.total_cycles) / config_.clock_hz;
+  result.stream_words = host.words_total();
+  result.link_active_cycles = host.link_active_cycles();
+
+  const auto& records = output.records();
+  if (records.size() != expected || host.answers().size() != expected) {
+    throw std::logic_error("Accelerator: record/answer count mismatch");
+  }
+  result.stories.reserve(expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    StoryOutcome outcome;
+    outcome.prediction = records[i].prediction;
+    outcome.output_probes = records[i].probes;
+    outcome.early_exit = records[i].early_exit;
+    outcome.finish_cycle = host.answers()[i].cycle;
+    result.stories.push_back(outcome);
+  }
+
+  const std::array<const sim::Module*, 6> all_modules = {
+      &host, &control, &input_write, &read, &mem, &output};
+  for (const sim::Module* m : all_modules) {
+    result.modules.push_back({m->name(), m->stats()});
+    result.total_ops += m->stats().ops;
+  }
+  result.fifo_in_stats = fifo_in.stats();
+  result.fifo_out_stats = fifo_out.stats();
+  return result;
+}
+
+}  // namespace mann::accel

@@ -1,0 +1,71 @@
+// Top-level accelerator: wires the host link, FIFOs and the five modules
+// of Fig. 1 together and runs a workload to completion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "accel/compiler.hpp"
+#include "accel/config.hpp"
+#include "data/types.hpp"
+#include "sim/fifo.hpp"
+#include "sim/types.hpp"
+
+namespace mann::accel {
+
+/// One story's outcome as observed at the host.
+struct StoryOutcome {
+  std::int32_t prediction = -1;
+  std::uint64_t output_probes = 0;  ///< output-layer dot products
+  bool early_exit = false;          ///< an ITH threshold fired
+  sim::Cycle finish_cycle = 0;      ///< host-side completion time
+};
+
+/// Per-module activity snapshot.
+struct ModuleReport {
+  std::string name;
+  sim::ModuleStats stats;
+};
+
+/// Full result of one workload run.
+struct RunResult {
+  std::vector<StoryOutcome> stories;
+  sim::Cycle total_cycles = 0;
+  double seconds = 0.0;  ///< wall time at the configured clock
+  std::vector<ModuleReport> modules;
+  sim::OpCounts total_ops;
+  sim::FifoStats fifo_in_stats;
+  sim::FifoStats fifo_out_stats;
+  sim::Cycle link_active_cycles = 0;  ///< I/O-occupied cycles
+  std::size_t stream_words = 0;
+
+  /// Convenience: fraction of stories that early-exited.
+  [[nodiscard]] double early_exit_rate() const noexcept;
+  /// Mean output probes per story.
+  [[nodiscard]] double mean_output_probes() const noexcept;
+};
+
+/// The device. Stateless between run() calls (each run models a fresh
+/// power-on: model upload + inference stream, matching the paper's
+/// measurement protocol which includes model transmission).
+class Accelerator {
+ public:
+  Accelerator(AccelConfig config, DeviceProgram program);
+
+  [[nodiscard]] const AccelConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DeviceProgram& program() const noexcept {
+    return program_;
+  }
+
+  /// Streams `stories` through the device and returns the full report.
+  [[nodiscard]] RunResult run(
+      std::span<const data::EncodedStory> stories) const;
+
+ private:
+  AccelConfig config_;
+  DeviceProgram program_;
+};
+
+}  // namespace mann::accel

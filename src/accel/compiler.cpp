@@ -1,0 +1,44 @@
+#include "accel/compiler.hpp"
+
+#include <cmath>
+
+namespace mann::accel {
+
+std::size_t DeviceProgram::model_words() const noexcept {
+  const std::size_t weight_words = emb_a.size() + emb_c.size() +
+                                   emb_q.size() + w_r.size() + w_o.size();
+  const std::size_t ith_words = thresholds.size() + probe_order.size();
+  return weight_words + ith_words;
+}
+
+DeviceProgram compile_model(const model::MemN2N& model,
+                            const core::InferenceThresholding* ith) {
+  const model::ModelConfig& cfg = model.config();
+  const model::Parameters& p = model.params();
+
+  DeviceProgram prog;
+  prog.vocab_size = cfg.vocab_size;
+  prog.embedding_dim = cfg.embedding_dim;
+  prog.hops = cfg.hops;
+  prog.max_memory = cfg.max_memory;
+  prog.emb_a = quantize(p.embedding_a);
+  prog.emb_c = quantize(p.embedding_c);
+  prog.emb_q = quantize(p.embedding_q);
+  prog.w_r = quantize(p.w_r);
+  prog.w_o = quantize(p.w_o);
+
+  if (ith != nullptr) {
+    prog.thresholds.reserve(cfg.vocab_size);
+    for (const float theta : ith->thresholds()) {
+      prog.thresholds.push_back(std::isfinite(theta) ? Fx::from_float(theta)
+                                                     : Fx::max());
+    }
+    prog.probe_order.reserve(cfg.vocab_size);
+    for (const std::size_t cls : ith->probe_order()) {
+      prog.probe_order.push_back(static_cast<std::int32_t>(cls));
+    }
+  }
+  return prog;
+}
+
+}  // namespace mann::accel

@@ -1,0 +1,28 @@
+// CONTROL module: decodes the input stream, gates story admission, and
+// forwards word-level commands to the INPUT & WRITE module (Fig. 1's
+// "inference control" + "FIFO control" roles).
+#pragma once
+
+#include <cstdint>
+
+#include "accel/state.hpp"
+#include "accel/stream.hpp"
+#include "sim/fifo.hpp"
+#include "sim/module.hpp"
+
+namespace mann::accel {
+
+class ControlModule final : public sim::Module {
+ public:
+  ControlModule(AcceleratorState& state, sim::Fifo<StreamWord>& fifo_in,
+                sim::Fifo<InputCmd>& cmd_fifo);
+
+  void tick() override;
+
+ private:
+  AcceleratorState& state_;
+  sim::Fifo<StreamWord>& fifo_in_;
+  sim::Fifo<InputCmd>& cmd_fifo_;
+};
+
+}  // namespace mann::accel

@@ -1,0 +1,65 @@
+#include "accel/fx_types.hpp"
+
+#include <stdexcept>
+
+namespace mann::accel {
+
+FxMatrix::FxMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+FxMatrix quantize(const numeric::Matrix& m) {
+  FxMatrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out(r, c) = Fx::from_float(m(r, c));
+    }
+  }
+  return out;
+}
+
+numeric::Matrix dequantize(const FxMatrix& m) {
+  numeric::Matrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out(r, c) = m(r, c).to_float();
+    }
+  }
+  return out;
+}
+
+Fx fx_dot(std::span<const Fx> a, std::span<const Fx> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("fx_dot: length mismatch");
+  }
+  Fx acc;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+void fx_axpy(Fx s, std::span<const Fx> x, std::span<Fx> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fx_axpy: length mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += s * x[i];
+  }
+}
+
+void fx_add(std::span<const Fx> x, std::span<Fx> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fx_add: length mismatch");
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += x[i];
+  }
+}
+
+void fx_clear(std::span<Fx> v) noexcept {
+  for (Fx& e : v) {
+    e = Fx{};
+  }
+}
+
+}  // namespace mann::accel

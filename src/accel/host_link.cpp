@@ -1,0 +1,95 @@
+#include "accel/host_link.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mann::accel {
+namespace {
+
+sim::Cycle seconds_to_cycles(double seconds, double clock_hz) {
+  return static_cast<sim::Cycle>(std::llround(seconds * clock_hz));
+}
+
+}  // namespace
+
+HostLinkModule::HostLinkModule(const AccelConfig& config,
+                               std::vector<StreamWord> words,
+                               sim::Fifo<StreamWord>& fifo_in,
+                               sim::Fifo<std::int32_t>& fifo_out)
+    : Module("HOST_LINK"),
+      words_(std::move(words)),
+      fifo_in_(fifo_in),
+      fifo_out_(fifo_out),
+      words_per_cycle_(config.link.words_per_second / config.clock_hz),
+      model_words_per_cycle_(config.link.model_words_per_second /
+                             config.clock_hz),
+      story_latency_cycles_(
+          seconds_to_cycles(config.link.per_story_latency, config.clock_hz)),
+      result_latency_cycles_(
+          seconds_to_cycles(config.link.result_latency, config.clock_hz)),
+      synchronous_(config.link.synchronous_stories) {
+  if (words_per_cycle_ <= 0.0) {
+    throw std::invalid_argument("HostLinkModule: non-positive link rate");
+  }
+}
+
+void HostLinkModule::tick() {
+  ++cycle_;
+  // Drain one answer per cycle from FIFO_OUT; the host observes it after
+  // the readback latency.
+  if (const auto answer = fifo_out_.try_pop()) {
+    answers_.push_back({*answer, cycle_ + result_latency_cycles_});
+  }
+
+  if (position_ >= words_.size()) {
+    return;  // everything sent; only draining answers now
+  }
+  if (delay_ > 0) {
+    // DMA/doorbell setup: the link is occupied but no words flow.
+    --delay_;
+    credit_ = 0.0;
+    ++link_active_cycles_;
+    mark_busy();
+    return;
+  }
+
+  // Model upload is bulk DMA; the inference stream is word-granular.
+  const bool in_model_phase = words_[position_].op == StreamOp::kModelWord;
+  credit_ += in_model_phase ? model_words_per_cycle_ : words_per_cycle_;
+  bool pushed = false;
+  while (credit_ >= 1.0 && position_ < words_.size()) {
+    const StreamWord& word = words_[position_];
+    if (word.op == StreamOp::kStoryStart) {
+      // Request/response host: wait for the previous story's answer
+      // before streaming the next request.
+      if (synchronous_ && answers_.size() < stories_sent_) {
+        credit_ = 0.0;
+        break;
+      }
+      if (!latency_charged_ && story_latency_cycles_ > 0) {
+        delay_ = story_latency_cycles_;
+        latency_charged_ = true;
+        break;
+      }
+    }
+    if (!fifo_in_.try_push(word)) {
+      mark_stalled();
+      break;
+    }
+    if (word.op == StreamOp::kStoryStart) {
+      latency_charged_ = false;
+    }
+    if (word.op == StreamOp::kEndOfStory) {
+      ++stories_sent_;
+    }
+    credit_ -= 1.0;
+    ++position_;
+    pushed = true;
+  }
+  if (pushed) {
+    ++link_active_cycles_;
+    mark_busy();
+  }
+}
+
+}  // namespace mann::accel

@@ -1,0 +1,37 @@
+// MEM module: content-based addressing (Eq. 1) and the soft memory read
+// (Eq. 5), computed element-wise sequentially — softmax's exp and divide
+// cannot be parallelized across the bank, so the pipeline walks the L
+// occupied slots: dot products through the adder tree, max-subtracted exp
+// through the LUT unit, normalization through the divider, then the
+// attention-weighted read through the MAC array.
+#pragma once
+
+#include "accel/config.hpp"
+#include "accel/state.hpp"
+#include "numeric/lut.hpp"
+#include "sim/module.hpp"
+
+namespace mann::accel {
+
+class MemModule final : public sim::Module {
+ public:
+  MemModule(AcceleratorState& state, const AccelConfig& config);
+
+  void tick() override;
+
+ private:
+  void start();
+  void finish();
+
+  AcceleratorState& state_;
+  const sim::DatapathTiming timing_;
+  const std::size_t sparse_slots_;  ///< 0 = dense softmax/read
+  numeric::ExpLut exp_lut_;
+  numeric::ReciprocalLut recip_lut_;
+
+  sim::Cycle busy_ = 0;
+  std::vector<Fx> next_attention_;
+  FxVector next_read_;
+};
+
+}  // namespace mann::accel

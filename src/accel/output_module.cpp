@@ -1,0 +1,93 @@
+#include "accel/output_module.hpp"
+
+namespace mann::accel {
+
+OutputModule::OutputModule(AcceleratorState& state, const AccelConfig& config,
+                           sim::Fifo<std::int32_t>& fifo_out)
+    : Module("OUTPUT"),
+      state_(state),
+      timing_(config.timing),
+      ith_enabled_(config.ith_enabled && state.program.has_ith_tables()),
+      use_index_ordering_(config.use_index_ordering),
+      fifo_out_(fifo_out) {}
+
+std::size_t OutputModule::probe_class(std::size_t rank) const noexcept {
+  if (ith_enabled_ && use_index_ordering_) {
+    return static_cast<std::size_t>(state_.program.probe_order[rank]);
+  }
+  return rank;
+}
+
+void OutputModule::begin_search() {
+  state_.features_ready = false;
+  phase_ = Phase::kProbing;
+  rank_ = 0;
+  classes_ = state_.program.vocab_size;
+  best_logit_ = Fx::min();
+  best_class_ = 0;
+  record_ = {};
+  start_probe();
+}
+
+void OutputModule::start_probe() {
+  const std::size_t cls = probe_class(rank_);
+  const std::size_t e = state_.program.embedding_dim;
+  current_logit_ = fx_dot(state_.program.w_o.row(cls), state_.reg_h);
+  ops().mac += e;
+  ops().mem_read += e;
+  ops().compare += 1;
+  ++record_.probes;
+  // First probe pays the tree fill latency; later probes pipeline.
+  busy_ = rank_ == 0 ? timing_.dot_cycles(e) : timing_.dot_ii(e);
+}
+
+void OutputModule::finish_probe() {
+  const std::size_t cls = probe_class(rank_);
+  if (ith_enabled_ && current_logit_ > state_.program.thresholds[cls]) {
+    record_.prediction = static_cast<std::int32_t>(cls);
+    record_.early_exit = true;
+    phase_ = Phase::kPushing;
+    return;
+  }
+  if (current_logit_ > best_logit_) {
+    best_logit_ = current_logit_;
+    best_class_ = cls;
+  }
+  ++rank_;
+  if (rank_ < classes_) {
+    start_probe();
+    return;
+  }
+  record_.prediction = static_cast<std::int32_t>(best_class_);
+  phase_ = Phase::kPushing;
+}
+
+void OutputModule::tick() {
+  switch (phase_) {
+    case Phase::kIdle:
+      if (!state_.features_ready) {
+        return;
+      }
+      begin_search();
+      [[fallthrough]];
+    case Phase::kProbing:
+      mark_busy();
+      --busy_;
+      if (busy_ == 0) {
+        finish_probe();
+      }
+      return;
+    case Phase::kPushing:
+      if (!fifo_out_.try_push(record_.prediction)) {
+        mark_stalled();
+        return;
+      }
+      mark_busy();
+      records_.push_back(record_);
+      state_.story_active = false;  // datapath free for the next story
+      phase_ = Phase::kIdle;
+      return;
+  }
+}
+
+}  // namespace mann::accel

@@ -1,0 +1,61 @@
+// OUTPUT module: the sequential maximum-inner-product search of Eq. 6.
+//
+// One dot product per class through the adder tree, tracking the running
+// maximum — or, with inference thresholding enabled, comparing each logit
+// against its per-class threshold θ in silhouette probe order and exiting
+// early on the first hit (Algo. 1, Step 4 in hardware).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/config.hpp"
+#include "accel/state.hpp"
+#include "sim/fifo.hpp"
+#include "sim/module.hpp"
+
+namespace mann::accel {
+
+class OutputModule final : public sim::Module {
+ public:
+  /// Per-story observability used by the run report.
+  struct Record {
+    std::int32_t prediction = -1;
+    std::uint64_t probes = 0;  ///< output-layer dot products performed
+    bool early_exit = false;
+  };
+
+  OutputModule(AcceleratorState& state, const AccelConfig& config,
+               sim::Fifo<std::int32_t>& fifo_out);
+
+  void tick() override;
+
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  void begin_search();
+  void start_probe();
+  void finish_probe();
+  [[nodiscard]] std::size_t probe_class(std::size_t rank) const noexcept;
+
+  AcceleratorState& state_;
+  const sim::DatapathTiming timing_;
+  const bool ith_enabled_;
+  const bool use_index_ordering_;
+  sim::Fifo<std::int32_t>& fifo_out_;
+
+  enum class Phase : std::uint8_t { kIdle, kProbing, kPushing };
+  Phase phase_ = Phase::kIdle;
+  sim::Cycle busy_ = 0;
+  std::size_t rank_ = 0;
+  std::size_t classes_ = 0;
+  Fx current_logit_;
+  Fx best_logit_;
+  std::size_t best_class_ = 0;
+  Record record_;
+  std::vector<Record> records_;
+};
+
+}  // namespace mann::accel

@@ -1,0 +1,55 @@
+#include "core/ith_eval.hpp"
+
+namespace mann::core {
+
+IthEvaluation evaluate_ith(const model::MemN2N& model,
+                           const InferenceThresholding& ith,
+                           std::span<const data::EncodedStory> test,
+                           bool use_index_ordering) {
+  IthEvaluation ev;
+  ev.stories = test.size();
+  if (test.empty()) {
+    return ev;
+  }
+  std::size_t correct = 0;
+  std::size_t exits = 0;
+  double comparisons = 0.0;
+  for (const data::EncodedStory& story : test) {
+    const ThresholdedResult r = ith.predict(model, story, use_index_ordering);
+    if (r.prediction == static_cast<std::size_t>(story.answer)) {
+      ++correct;
+    }
+    exits += r.early_exit ? 1 : 0;
+    comparisons += static_cast<double>(r.comparisons);
+  }
+  const auto n = static_cast<double>(test.size());
+  ev.accuracy = static_cast<float>(static_cast<double>(correct) / n);
+  ev.mean_comparisons = static_cast<float>(comparisons / n);
+  ev.normalized_comparisons =
+      ev.mean_comparisons / static_cast<float>(model.config().vocab_size);
+  ev.early_exit_rate =
+      static_cast<float>(static_cast<double>(exits) / n);
+  return ev;
+}
+
+IthEvaluation evaluate_full_mips(const model::MemN2N& model,
+                                 std::span<const data::EncodedStory> test) {
+  IthEvaluation ev;
+  ev.stories = test.size();
+  if (test.empty()) {
+    return ev;
+  }
+  std::size_t correct = 0;
+  for (const data::EncodedStory& story : test) {
+    if (model.predict(story) == static_cast<std::size_t>(story.answer)) {
+      ++correct;
+    }
+  }
+  ev.accuracy = static_cast<float>(correct) / static_cast<float>(test.size());
+  ev.mean_comparisons = static_cast<float>(model.config().vocab_size);
+  ev.normalized_comparisons = 1.0F;
+  ev.early_exit_rate = 0.0F;
+  return ev;
+}
+
+}  // namespace mann::core

@@ -1,0 +1,35 @@
+// Batch evaluation of inference thresholding — the measurements behind
+// Fig. 3 (accuracy and normalized comparison counts vs ρ, with and
+// without index ordering).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ith.hpp"
+#include "data/types.hpp"
+#include "model/memn2n.hpp"
+
+namespace mann::core {
+
+/// Aggregate quality/cost of one ITH configuration over a test split.
+struct IthEvaluation {
+  float accuracy = 0.0F;
+  float mean_comparisons = 0.0F;        ///< output-layer probes per story
+  float normalized_comparisons = 0.0F;  ///< mean / |I|
+  float early_exit_rate = 0.0F;
+  std::size_t stories = 0;
+};
+
+/// Runs Step 4 over `test` and aggregates.
+[[nodiscard]] IthEvaluation evaluate_ith(
+    const model::MemN2N& model, const InferenceThresholding& ith,
+    std::span<const data::EncodedStory> test, bool use_index_ordering = true);
+
+/// Baseline: conventional full MIPS (comparisons == |I|, accuracy of the
+/// plain model). Provided so Fig. 3's "w/o ITH" column uses the same code
+/// path and accounting.
+[[nodiscard]] IthEvaluation evaluate_full_mips(
+    const model::MemN2N& model, std::span<const data::EncodedStory> test);
+
+}  // namespace mann::core

@@ -1,0 +1,272 @@
+#include "core/mips_baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "numeric/vector_ops.hpp"
+
+namespace mann::core {
+
+// ---------------------------------------------------------------- Exact --
+
+ExactMips::ExactMips(const numeric::Matrix& weights) : weights_(weights) {
+  if (weights_.rows() == 0) {
+    throw std::invalid_argument("ExactMips: empty weight matrix");
+  }
+}
+
+MipsResult ExactMips::query(std::span<const float> h) const {
+  MipsResult r;
+  float best = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < weights_.rows(); ++i) {
+    const float z = numeric::dot(weights_.row(i), h);
+    ++r.dot_products;
+    if (z > best) {
+      best = z;
+      r.index = i;
+    }
+  }
+  return r;
+}
+
+// ----------------------------------------------------------------- ALSH --
+
+AlshMips::AlshMips(const numeric::Matrix& weights, const Config& config)
+    : weights_(weights), config_(config) {
+  if (weights_.rows() == 0) {
+    throw std::invalid_argument("AlshMips: empty weight matrix");
+  }
+  if (config_.bits == 0 || config_.bits > 24 || config_.tables == 0) {
+    throw std::invalid_argument("AlshMips: bad table geometry");
+  }
+  augmented_dim_ = weights_.cols() + config_.norm_powers;
+
+  numeric::Rng rng(config_.seed);
+  projections_.resize(config_.tables * config_.bits * augmented_dim_);
+  for (float& v : projections_) {
+    v = rng.normal();
+  }
+
+  // Scale every row into a ball of radius scale_u (shared scale so inner
+  // products keep their order), then augment and hash into each table.
+  float max_norm = 0.0F;
+  for (std::size_t i = 0; i < weights_.rows(); ++i) {
+    max_norm = std::max(max_norm, numeric::norm2(weights_.row(i)));
+  }
+  const float norm_scale =
+      max_norm > 0.0F ? config_.scale_u / max_norm : 1.0F;
+
+  buckets_.assign(config_.tables, {});
+  for (auto& table : buckets_) {
+    table.assign(std::size_t{1} << config_.bits, {});
+  }
+  for (std::size_t i = 0; i < weights_.rows(); ++i) {
+    const auto augmented = augment_row(weights_.row(i), norm_scale);
+    for (std::size_t t = 0; t < config_.tables; ++t) {
+      buckets_[t][hash_augmented(augmented, t)].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+std::vector<float> AlshMips::augment_row(std::span<const float> row,
+                                         float norm_scale) const {
+  std::vector<float> augmented(augmented_dim_, 0.0F);
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    augmented[d] = row[d] * norm_scale;
+  }
+  // Append ||x||^2, ||x||^4, ||x||^8, ...
+  const float n = numeric::norm2(
+      std::span<const float>(augmented.data(), row.size()));
+  float power = n * n;
+  for (std::size_t m = 0; m < config_.norm_powers; ++m) {
+    augmented[row.size() + m] = power;
+    power *= power;
+  }
+  return augmented;
+}
+
+std::vector<float> AlshMips::augment_query(std::span<const float> h) const {
+  std::vector<float> augmented(augmented_dim_, 0.5F);
+  const float n = numeric::norm2(h);
+  const float inv = n > 0.0F ? 1.0F / n : 0.0F;
+  for (std::size_t d = 0; d < h.size(); ++d) {
+    augmented[d] = h[d] * inv;
+  }
+  return augmented;
+}
+
+std::uint32_t AlshMips::hash_augmented(std::span<const float> augmented,
+                                       std::size_t table) const {
+  std::uint32_t code = 0;
+  const std::size_t base = table * config_.bits * augmented_dim_;
+  for (std::size_t b = 0; b < config_.bits; ++b) {
+    const std::span<const float> a(
+        projections_.data() + base + b * augmented_dim_, augmented_dim_);
+    const float s = numeric::dot(a, augmented);
+    code = (code << 1U) | (s >= 0.0F ? 1U : 0U);
+  }
+  return code;
+}
+
+MipsResult AlshMips::query(std::span<const float> h) const {
+  MipsResult r;
+  const auto augmented = augment_query(h);
+  // Hashing cost: K x L projection dots over the augmented dimension.
+  r.overhead_ops = config_.tables * config_.bits;
+
+  std::unordered_set<std::uint32_t> candidates;
+  for (std::size_t t = 0; t < config_.tables; ++t) {
+    const std::uint32_t code = hash_augmented(augmented, t);
+    for (const std::uint32_t row : buckets_[t][code]) {
+      candidates.insert(row);
+    }
+  }
+
+  float best = -std::numeric_limits<float>::infinity();
+  if (candidates.empty()) {
+    // Degenerate query: fall back to exact scan so a result exists.
+    for (std::size_t i = 0; i < weights_.rows(); ++i) {
+      const float z = numeric::dot(weights_.row(i), h);
+      ++r.dot_products;
+      if (z > best) {
+        best = z;
+        r.index = i;
+      }
+    }
+    return r;
+  }
+  for (const std::uint32_t i : candidates) {
+    const float z = numeric::dot(weights_.row(i), h);
+    ++r.dot_products;
+    if (z > best) {
+      best = z;
+      r.index = i;
+    }
+  }
+  return r;
+}
+
+// ------------------------------------------------------------- Clustering --
+
+ClusterMips::ClusterMips(const numeric::Matrix& weights,
+                         const Config& config)
+    : weights_(weights), config_(config) {
+  if (weights_.rows() == 0) {
+    throw std::invalid_argument("ClusterMips: empty weight matrix");
+  }
+  if (config_.clusters == 0 || config_.probe_clusters == 0) {
+    throw std::invalid_argument("ClusterMips: bad cluster counts");
+  }
+  config_.clusters = std::min(config_.clusters, weights_.rows());
+  config_.probe_clusters =
+      std::min(config_.probe_clusters, config_.clusters);
+
+  const std::size_t k = config_.clusters;
+  const std::size_t dim = weights_.cols();
+
+  // Seed centroids from distinct random rows.
+  numeric::Rng rng(config_.seed);
+  const auto seeds = rng.sample_without_replacement(weights_.rows(), k);
+  centroids_.resize_zeroed(k, dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto row = weights_.row(seeds[c]);
+    std::copy(row.begin(), row.end(), centroids_.row(c).begin());
+  }
+
+  auto normalize_rows = [&](numeric::Matrix& m) {
+    for (std::size_t c = 0; c < m.rows(); ++c) {
+      const float n = numeric::norm2(m.row(c));
+      if (n > 0.0F) {
+        for (float& v : m.row(c)) {
+          v /= n;
+        }
+      }
+    }
+  };
+  normalize_rows(centroids_);
+
+  assignment_.assign(weights_.rows(), 0);
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    bool moved = false;
+    // Assignment by cosine (rows scored against unit centroids).
+    for (std::size_t i = 0; i < weights_.rows(); ++i) {
+      std::size_t best_c = 0;
+      float best_s = -std::numeric_limits<float>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const float s = numeric::dot(centroids_.row(c), weights_.row(i));
+        if (s > best_s) {
+          best_s = s;
+          best_c = c;
+        }
+      }
+      if (assignment_[i] != best_c) {
+        assignment_[i] = static_cast<std::uint32_t>(best_c);
+        moved = true;
+      }
+    }
+    if (!moved && iter > 0) {
+      break;
+    }
+    // Update: mean of members, re-normalized (spherical k-means).
+    centroids_.fill(0.0F);
+    for (std::size_t i = 0; i < weights_.rows(); ++i) {
+      numeric::axpy(1.0F, weights_.row(i),
+                    centroids_.row(assignment_[i]));
+    }
+    normalize_rows(centroids_);
+  }
+
+  members_.assign(k, {});
+  for (std::size_t i = 0; i < weights_.rows(); ++i) {
+    members_[assignment_[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+MipsResult ClusterMips::query(std::span<const float> h) const {
+  MipsResult r;
+  const std::size_t k = config_.clusters;
+  // Score centroids (overhead dots), pick the best probe_clusters.
+  std::vector<std::pair<float, std::size_t>> scored(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    scored[c] = {numeric::dot(centroids_.row(c), h), c};
+  }
+  r.overhead_ops = k;
+  std::partial_sort(scored.begin(),
+                    scored.begin() +
+                        static_cast<std::ptrdiff_t>(config_.probe_clusters),
+                    scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+
+  float best = -std::numeric_limits<float>::infinity();
+  bool any = false;
+  for (std::size_t p = 0; p < config_.probe_clusters; ++p) {
+    for (const std::uint32_t i : members_[scored[p].second]) {
+      const float z = numeric::dot(weights_.row(i), h);
+      ++r.dot_products;
+      if (z > best) {
+        best = z;
+        r.index = i;
+        any = true;
+      }
+    }
+  }
+  if (!any) {
+    // All probed clusters empty (possible after collapse): exact scan.
+    for (std::size_t i = 0; i < weights_.rows(); ++i) {
+      const float z = numeric::dot(weights_.row(i), h);
+      ++r.dot_products;
+      if (z > best) {
+        best = z;
+        r.index = i;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace mann::core

@@ -1,0 +1,122 @@
+// Approximate maximum-inner-product-search baselines from the paper's
+// related-work discussion (§VI-B).
+//
+// The paper argues that hashing-based MIPS (Shrivastava & Li, ALSH) and
+// clustering-based MIPS (Auvolat et al.) "may be too slow to be used in
+// the output layer of a DNN in resource-limited environments". These
+// classes implement both schemes so bench/compare_mips can quantify that
+// claim against inference thresholding on the same trained output layers:
+// candidate-set sizes, hash/centroid overheads, and recall@1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+#include "numeric/random.hpp"
+
+namespace mann::core {
+
+/// Outcome of one approximate MIPS query.
+struct MipsResult {
+  std::size_t index = 0;        ///< arg max candidate
+  std::size_t dot_products = 0; ///< full-length row dot products computed
+  std::size_t overhead_ops = 0; ///< scheme-specific extra dot products
+                                ///< (hash projections / centroid scores)
+};
+
+/// Exact sequential scan — the conventional method of Fig. 2(a); the
+/// reference both for correctness and for op counts.
+class ExactMips {
+ public:
+  explicit ExactMips(const numeric::Matrix& weights);
+
+  [[nodiscard]] MipsResult query(std::span<const float> h) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return weights_.rows();
+  }
+
+ private:
+  const numeric::Matrix& weights_;
+};
+
+/// Sign-random-projection asymmetric LSH for MIPS (L2-ALSH style).
+///
+/// Rows are scaled into a ball of radius `scale_u` and augmented with m
+/// norm-powers ||x||^2, ||x||^4, ... so that inner product order becomes
+/// (asymptotically) cosine order between the augmented row P(x) and the
+/// augmented query Q(h) = [h/||h||; 1/2; ...]. K sign projections per
+/// table give a bucket id; L independent tables are probed per query and
+/// the union of colliding rows is scanned exactly.
+class AlshMips {
+ public:
+  struct Config {
+    std::size_t tables = 8;       ///< L
+    std::size_t bits = 8;         ///< K sign bits per table
+    std::size_t norm_powers = 3;  ///< m augmentation terms
+    float scale_u = 0.83F;        ///< max augmented row norm
+    std::uint64_t seed = 1;
+  };
+
+  AlshMips(const numeric::Matrix& weights, const Config& config);
+
+  /// Scans the union of matching buckets; falls back to a full scan when
+  /// no candidate collides (keeps the result well-defined).
+  [[nodiscard]] MipsResult query(std::span<const float> h) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::uint32_t hash_augmented(
+      std::span<const float> augmented, std::size_t table) const;
+  [[nodiscard]] std::vector<float> augment_row(
+      std::span<const float> row, float norm_scale) const;
+  [[nodiscard]] std::vector<float> augment_query(
+      std::span<const float> h) const;
+
+  const numeric::Matrix& weights_;
+  Config config_;
+  std::size_t augmented_dim_ = 0;
+  /// Random projection vectors: tables x bits x augmented_dim.
+  std::vector<float> projections_;
+  /// Bucket tables: for each table, bucket id -> row indices.
+  std::vector<std::vector<std::vector<std::uint32_t>>> buckets_;
+};
+
+/// Spherical k-means clustering MIPS (Auvolat et al. 2015).
+///
+/// Rows are clustered by cosine; a query scores the k centroids, then
+/// exactly scans the rows of the best `probe_clusters` clusters.
+class ClusterMips {
+ public:
+  struct Config {
+    std::size_t clusters = 8;        ///< k
+    std::size_t probe_clusters = 2;  ///< clusters scanned per query
+    std::size_t iterations = 25;     ///< k-means iterations
+    std::uint64_t seed = 1;
+  };
+
+  ClusterMips(const numeric::Matrix& weights, const Config& config);
+
+  [[nodiscard]] MipsResult query(std::span<const float> h) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Cluster membership (exposed for tests).
+  [[nodiscard]] const std::vector<std::uint32_t>& assignment()
+      const noexcept {
+    return assignment_;
+  }
+
+ private:
+  const numeric::Matrix& weights_;
+  Config config_;
+  numeric::Matrix centroids_;  ///< k x dim, unit rows
+  std::vector<std::uint32_t> assignment_;
+  std::vector<std::vector<std::uint32_t>> members_;
+};
+
+}  // namespace mann::core

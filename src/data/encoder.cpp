@@ -1,0 +1,46 @@
+#include "data/encoder.hpp"
+
+namespace mann::data {
+
+void add_story_to_vocab(const Story& story, Vocab& vocab) {
+  for (const Sentence& s : story.context) {
+    for (const std::string& w : s) {
+      vocab.add(w);
+    }
+  }
+  for (const std::string& w : story.question) {
+    vocab.add(w);
+  }
+  vocab.add(story.answer);
+}
+
+EncodedStory encode_story(const Story& story, const Vocab& vocab) {
+  EncodedStory enc;
+  enc.context.reserve(story.context.size());
+  for (const Sentence& s : story.context) {
+    std::vector<std::int32_t> ids;
+    ids.reserve(s.size());
+    for (const std::string& w : s) {
+      ids.push_back(vocab.at(w));
+    }
+    enc.context.push_back(std::move(ids));
+  }
+  enc.question.reserve(story.question.size());
+  for (const std::string& w : story.question) {
+    enc.question.push_back(vocab.at(w));
+  }
+  enc.answer = vocab.at(story.answer);
+  return enc;
+}
+
+std::vector<EncodedStory> encode_stories(const std::vector<Story>& stories,
+                                         const Vocab& vocab) {
+  std::vector<EncodedStory> out;
+  out.reserve(stories.size());
+  for (const Story& s : stories) {
+    out.push_back(encode_story(s, vocab));
+  }
+  return out;
+}
+
+}  // namespace mann::data

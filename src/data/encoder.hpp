@@ -1,0 +1,27 @@
+// Story -> word-index encoding.
+//
+// The MANN consumes sentences as bags of word indices (Eq. 2): the INPUT &
+// WRITE module reads one embedding column per word index. The encoder owns
+// nothing; it maps through a caller-supplied Vocab.
+#pragma once
+
+#include <vector>
+
+#include "data/types.hpp"
+#include "data/vocab.hpp"
+
+namespace mann::data {
+
+/// Adds every token of `story` (context, question, answer) to `vocab`.
+void add_story_to_vocab(const Story& story, Vocab& vocab);
+
+/// Encodes a story against a closed vocabulary.
+/// Throws std::out_of_range if a token is missing from `vocab`.
+[[nodiscard]] EncodedStory encode_story(const Story& story,
+                                        const Vocab& vocab);
+
+/// Encodes a batch.
+[[nodiscard]] std::vector<EncodedStory> encode_stories(
+    const std::vector<Story>& stories, const Vocab& vocab);
+
+}  // namespace mann::data

@@ -1,0 +1,83 @@
+#include "data/tasks.hpp"
+
+#include <stdexcept>
+
+namespace mann::data {
+
+const std::vector<TaskId>& all_tasks() {
+  static const std::vector<TaskId> tasks = [] {
+    std::vector<TaskId> t;
+    for (int i = 1; i <= 20; ++i) {
+      t.push_back(static_cast<TaskId>(i));
+    }
+    return t;
+  }();
+  return tasks;
+}
+
+int task_number(TaskId id) noexcept { return static_cast<int>(id); }
+
+std::string task_name(TaskId id) {
+  switch (id) {
+    case TaskId::kSingleSupportingFact: return "qa1-single-supporting-fact";
+    case TaskId::kTwoSupportingFacts: return "qa2-two-supporting-facts";
+    case TaskId::kThreeSupportingFacts: return "qa3-three-supporting-facts";
+    case TaskId::kTwoArgRelations: return "qa4-two-arg-relations";
+    case TaskId::kThreeArgRelations: return "qa5-three-arg-relations";
+    case TaskId::kYesNoQuestions: return "qa6-yes-no-questions";
+    case TaskId::kCounting: return "qa7-counting";
+    case TaskId::kListsSets: return "qa8-lists-sets";
+    case TaskId::kSimpleNegation: return "qa9-simple-negation";
+    case TaskId::kIndefiniteKnowledge: return "qa10-indefinite-knowledge";
+    case TaskId::kBasicCoreference: return "qa11-basic-coreference";
+    case TaskId::kConjunction: return "qa12-conjunction";
+    case TaskId::kCompoundCoreference: return "qa13-compound-coreference";
+    case TaskId::kTimeReasoning: return "qa14-time-reasoning";
+    case TaskId::kBasicDeduction: return "qa15-basic-deduction";
+    case TaskId::kBasicInduction: return "qa16-basic-induction";
+    case TaskId::kPositionalReasoning: return "qa17-positional-reasoning";
+    case TaskId::kSizeReasoning: return "qa18-size-reasoning";
+    case TaskId::kPathFinding: return "qa19-path-finding";
+    case TaskId::kAgentsMotivations: return "qa20-agents-motivations";
+  }
+  throw std::invalid_argument("task_name: bad TaskId");
+}
+
+Story generate_story(TaskId id, numeric::Rng& rng) {
+  using namespace detail;
+  switch (id) {
+    case TaskId::kSingleSupportingFact: return gen_single_supporting_fact(rng);
+    case TaskId::kTwoSupportingFacts: return gen_two_supporting_facts(rng);
+    case TaskId::kThreeSupportingFacts: return gen_three_supporting_facts(rng);
+    case TaskId::kTwoArgRelations: return gen_two_arg_relations(rng);
+    case TaskId::kThreeArgRelations: return gen_three_arg_relations(rng);
+    case TaskId::kYesNoQuestions: return gen_yes_no(rng);
+    case TaskId::kCounting: return gen_counting(rng);
+    case TaskId::kListsSets: return gen_lists_sets(rng);
+    case TaskId::kSimpleNegation: return gen_simple_negation(rng);
+    case TaskId::kIndefiniteKnowledge: return gen_indefinite_knowledge(rng);
+    case TaskId::kBasicCoreference: return gen_basic_coreference(rng);
+    case TaskId::kConjunction: return gen_conjunction(rng);
+    case TaskId::kCompoundCoreference: return gen_compound_coreference(rng);
+    case TaskId::kTimeReasoning: return gen_time_reasoning(rng);
+    case TaskId::kBasicDeduction: return gen_basic_deduction(rng);
+    case TaskId::kBasicInduction: return gen_basic_induction(rng);
+    case TaskId::kPositionalReasoning: return gen_positional_reasoning(rng);
+    case TaskId::kSizeReasoning: return gen_size_reasoning(rng);
+    case TaskId::kPathFinding: return gen_path_finding(rng);
+    case TaskId::kAgentsMotivations: return gen_agents_motivations(rng);
+  }
+  throw std::invalid_argument("generate_story: bad TaskId");
+}
+
+std::vector<Story> generate_stories(TaskId id, std::size_t count,
+                                    numeric::Rng& rng) {
+  std::vector<Story> stories;
+  stories.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    stories.push_back(generate_story(id, rng));
+  }
+  return stories;
+}
+
+}  // namespace mann::data

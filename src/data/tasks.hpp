@@ -1,0 +1,93 @@
+// Synthetic generators for the 20 bAbI-style QA task families.
+//
+// Substitution note (see DESIGN.md): the paper evaluates on the bAbI v1.2
+// dataset, which we do not ship. bAbI itself was produced by a text-rendered
+// world simulation, so we regenerate statistically-equivalent tasks from our
+// own simulator: same 20 task semantics, same story/question shape (short
+// declarative sentences, one-token answers), similar vocabulary sizes. What
+// the experiments need from the data — small-vocabulary QA whose trained
+// logit distributions are bimodal per class (Fig. 2b) and whose workloads
+// have bAbI-like sentence/question counts — is preserved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/types.hpp"
+#include "numeric/random.hpp"
+
+namespace mann::data {
+
+/// The 20 task families, numbered as in Weston et al. (2015).
+enum class TaskId : std::uint8_t {
+  kSingleSupportingFact = 1,
+  kTwoSupportingFacts = 2,
+  kThreeSupportingFacts = 3,
+  kTwoArgRelations = 4,
+  kThreeArgRelations = 5,
+  kYesNoQuestions = 6,
+  kCounting = 7,
+  kListsSets = 8,
+  kSimpleNegation = 9,
+  kIndefiniteKnowledge = 10,
+  kBasicCoreference = 11,
+  kConjunction = 12,
+  kCompoundCoreference = 13,
+  kTimeReasoning = 14,
+  kBasicDeduction = 15,
+  kBasicInduction = 16,
+  kPositionalReasoning = 17,
+  kSizeReasoning = 18,
+  kPathFinding = 19,
+  kAgentsMotivations = 20,
+};
+
+/// Version of the generator suite. Bump whenever any generator's output
+/// changes so downstream artifact caches (trained models keyed on the
+/// generated data) invalidate themselves.
+inline constexpr int kGeneratorVersion = 2;
+
+/// All 20 tasks in numeric order.
+[[nodiscard]] const std::vector<TaskId>& all_tasks();
+
+/// Human-readable task name, e.g. "qa1-single-supporting-fact".
+[[nodiscard]] std::string task_name(TaskId id);
+
+/// Task number (1-20) for display.
+[[nodiscard]] int task_number(TaskId id) noexcept;
+
+/// Generates one story with its question and ground-truth answer.
+/// Deterministic given the Rng state.
+[[nodiscard]] Story generate_story(TaskId id, numeric::Rng& rng);
+
+/// Generates `count` stories.
+[[nodiscard]] std::vector<Story> generate_stories(TaskId id,
+                                                  std::size_t count,
+                                                  numeric::Rng& rng);
+
+namespace detail {
+// Per-family generators, grouped by implementation file. Exposed for tests.
+Story gen_single_supporting_fact(numeric::Rng& rng);
+Story gen_two_supporting_facts(numeric::Rng& rng);
+Story gen_three_supporting_facts(numeric::Rng& rng);
+Story gen_yes_no(numeric::Rng& rng);
+Story gen_counting(numeric::Rng& rng);
+Story gen_lists_sets(numeric::Rng& rng);
+Story gen_simple_negation(numeric::Rng& rng);
+Story gen_indefinite_knowledge(numeric::Rng& rng);
+Story gen_basic_coreference(numeric::Rng& rng);
+Story gen_conjunction(numeric::Rng& rng);
+Story gen_compound_coreference(numeric::Rng& rng);
+Story gen_two_arg_relations(numeric::Rng& rng);
+Story gen_three_arg_relations(numeric::Rng& rng);
+Story gen_time_reasoning(numeric::Rng& rng);
+Story gen_positional_reasoning(numeric::Rng& rng);
+Story gen_size_reasoning(numeric::Rng& rng);
+Story gen_path_finding(numeric::Rng& rng);
+Story gen_basic_deduction(numeric::Rng& rng);
+Story gen_basic_induction(numeric::Rng& rng);
+Story gen_agents_motivations(numeric::Rng& rng);
+}  // namespace detail
+
+}  // namespace mann::data

@@ -1,0 +1,409 @@
+// Generators for the movement/possession task families:
+// qa1, qa2, qa3, qa6, qa7, qa8, qa9, qa10.
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "data/tasks.hpp"
+#include "data/tasks_common.hpp"
+#include "data/world.hpp"
+
+namespace mann::data::detail {
+
+const std::vector<std::string>& actor_names() {
+  static const std::vector<std::string> v = {"mary", "john",  "daniel",
+                                             "sandra", "fred", "julie",
+                                             "bill", "jeff"};
+  return v;
+}
+
+const std::vector<std::string>& location_names() {
+  static const std::vector<std::string> v = {"kitchen", "garden",  "office",
+                                             "bathroom", "bedroom", "hallway",
+                                             "park", "school"};
+  return v;
+}
+
+const std::vector<std::string>& object_names() {
+  static const std::vector<std::string> v = {"football", "apple",   "milk",
+                                             "suitcase", "pajamas", "cake"};
+  return v;
+}
+
+const std::string& pronoun(const std::string& actor) {
+  static const std::string he = "he";
+  static const std::string she = "she";
+  if (actor == "mary" || actor == "sandra" || actor == "julie") {
+    return she;
+  }
+  return he;
+}
+
+std::vector<std::string> pick_distinct(numeric::Rng& rng,
+                                       const std::vector<std::string>& v,
+                                       std::size_t k) {
+  const auto idx = rng.sample_without_replacement(v.size(), k);
+  std::vector<std::string> out;
+  out.reserve(k);
+  for (std::size_t i : idx) {
+    out.push_back(v[i]);
+  }
+  return out;
+}
+
+Sentence move_sentence(numeric::Rng& rng, const std::string& actor,
+                       const std::string& location) {
+  static const std::vector<std::string> verbs = {"went", "travelled",
+                                                 "journeyed", "moved"};
+  return {actor, pick(rng, verbs), "to", "the", location};
+}
+
+Sentence pair_move_sentence(numeric::Rng& rng, const std::string& a,
+                            const std::string& b,
+                            const std::string& location) {
+  static const std::vector<std::string> verbs = {"went", "travelled",
+                                                 "journeyed", "moved"};
+  return {a, "and", b, pick(rng, verbs), "to", "the", location};
+}
+
+Sentence grab_sentence(numeric::Rng& rng, const std::string& actor,
+                       const std::string& object) {
+  switch (rng.index(3)) {
+    case 0: return {actor, "picked", "up", "the", object};
+    case 1: return {actor, "grabbed", "the", object};
+    default: return {actor, "took", "the", object};
+  }
+}
+
+Sentence drop_sentence(numeric::Rng& rng, const std::string& actor,
+                       const std::string& object) {
+  switch (rng.index(3)) {
+    case 0: return {actor, "dropped", "the", object};
+    case 1: return {actor, "discarded", "the", object};
+    default: return {actor, "put", "down", "the", object};
+  }
+}
+
+Sentence give_sentence(const std::string& from, const std::string& to,
+                       const std::string& object) {
+  return {from, "gave", "the", object, "to", to};
+}
+
+Sentence where_is_actor(const std::string& actor) {
+  return {"where", "is", actor};
+}
+
+Sentence where_is_object(const std::string& object) {
+  return {"where", "is", "the", object};
+}
+
+// --- qa1: single supporting fact -----------------------------------------
+
+Story gen_single_supporting_fact(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const std::size_t events = 2 + rng.index(5);  // 2..6 sentences
+  for (std::size_t i = 0; i < events; ++i) {
+    const std::string& actor = pick(rng, world.actors());
+    const std::string& loc = pick(rng, world.locations());
+    world.move(actor, loc);
+    story.context.push_back(move_sentence(rng, actor, loc));
+  }
+  // Ask about an actor that actually moved.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::string& actor = pick(rng, world.actors());
+    if (const auto loc = world.actor_location(actor)) {
+      story.question = where_is_actor(actor);
+      story.answer = *loc;
+      return story;
+    }
+  }
+  throw std::logic_error("qa1: no moved actor found");
+}
+
+// --- qa2: two supporting facts --------------------------------------------
+
+Story gen_two_supporting_facts(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const auto chosen = pick_distinct(rng, world.actors(), 2);
+  const std::string& carrier = chosen[0];
+  const std::string& noise_actor = chosen[1];
+  const std::string& object = pick(rng, world.objects());
+
+  // Carrier walks, picks the object up, walks again (the two supporting
+  // facts are the grab and the final move). Noise actor wanders.
+  const std::string& l1 = pick(rng, world.locations());
+  world.move(carrier, l1);
+  story.context.push_back(move_sentence(rng, carrier, l1));
+
+  if (rng.index(2) == 0) {
+    const std::string& nl = pick(rng, world.locations());
+    world.move(noise_actor, nl);
+    story.context.push_back(move_sentence(rng, noise_actor, nl));
+  }
+
+  world.grab(carrier, object);
+  story.context.push_back(grab_sentence(rng, carrier, object));
+
+  const std::string& l2 = pick(rng, world.locations());
+  world.move(carrier, l2);
+  story.context.push_back(move_sentence(rng, carrier, l2));
+
+  if (rng.index(2) == 0) {
+    world.drop(carrier, object);
+    story.context.push_back(drop_sentence(rng, carrier, object));
+  }
+  if (rng.index(2) == 0) {
+    const std::string& nl = pick(rng, world.locations());
+    world.move(noise_actor, nl);
+    story.context.push_back(move_sentence(rng, noise_actor, nl));
+  }
+
+  story.question = where_is_object(object);
+  story.answer = *world.object_location(object);
+  return story;
+}
+
+// --- qa3: three supporting facts ("where was X before Y") ------------------
+
+Story gen_three_supporting_facts(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const std::string& carrier = pick(rng, world.actors());
+  const std::string& object = pick(rng, world.objects());
+
+  // Visit three distinct locations while holding the object so its history
+  // has at least two distinct entries.
+  const auto locs = pick_distinct(rng, world.locations(), 3);
+  world.move(carrier, locs[0]);
+  story.context.push_back(move_sentence(rng, carrier, locs[0]));
+  world.grab(carrier, object);
+  story.context.push_back(grab_sentence(rng, carrier, object));
+  world.move(carrier, locs[1]);
+  story.context.push_back(move_sentence(rng, carrier, locs[1]));
+  if (rng.index(2) == 0) {
+    const std::string& other = pick(rng, world.actors());
+    if (other != carrier) {
+      const std::string& nl = pick(rng, world.locations());
+      world.move(other, nl);
+      story.context.push_back(move_sentence(rng, other, nl));
+    }
+  }
+  world.move(carrier, locs[2]);
+  story.context.push_back(move_sentence(rng, carrier, locs[2]));
+  if (rng.index(2) == 0) {
+    world.drop(carrier, object);
+    story.context.push_back(drop_sentence(rng, carrier, object));
+  }
+
+  const auto history = world.object_location_history(object);
+  if (history.size() < 2) {
+    throw std::logic_error("qa3: object history too short");
+  }
+  const std::string& current = history.back();
+  const std::string& before = history[history.size() - 2];
+  story.question = {"where", "was", "the", object, "before", "the", current};
+  story.answer = before;
+  return story;
+}
+
+// --- qa6: yes/no questions --------------------------------------------------
+
+Story gen_yes_no(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const std::size_t events = 2 + rng.index(4);
+  std::vector<std::string> movers;
+  for (std::size_t i = 0; i < events; ++i) {
+    const std::string& actor = pick(rng, world.actors());
+    const std::string& loc = pick(rng, world.locations());
+    world.move(actor, loc);
+    story.context.push_back(move_sentence(rng, actor, loc));
+    movers.push_back(actor);
+  }
+  const std::string& actor = pick(rng, movers);
+  const std::string truth = *world.actor_location(actor);
+  const bool ask_truth = rng.index(2) == 0;
+  std::string asked = truth;
+  if (!ask_truth) {
+    while (asked == truth) {
+      asked = pick(rng, world.locations());
+    }
+  }
+  story.question = {"is", actor, "in", "the", asked};
+  story.answer = ask_truth ? "yes" : "no";
+  return story;
+}
+
+// --- qa7: counting ----------------------------------------------------------
+
+Story gen_counting(numeric::Rng& rng) {
+  static const std::array<std::string, 4> count_words = {"none", "one", "two",
+                                                         "three"};
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const std::string& actor = pick(rng, world.actors());
+  const std::string& loc = pick(rng, world.locations());
+  world.move(actor, loc);
+  story.context.push_back(move_sentence(rng, actor, loc));
+
+  const std::size_t takes = rng.index(4);  // 0..3 pickups
+  const auto objs = pick_distinct(rng, world.objects(), takes);
+  for (const std::string& obj : objs) {
+    world.grab(actor, obj);
+    story.context.push_back(grab_sentence(rng, actor, obj));
+  }
+  // Possibly drop one again.
+  if (!objs.empty() && rng.index(2) == 0) {
+    const std::string& victim = pick(rng, objs);
+    world.drop(actor, victim);
+    story.context.push_back(drop_sentence(rng, actor, victim));
+  }
+  const std::size_t n = world.carried(actor).size();
+  story.question = {"how", "many", "objects", "is", actor, "carrying"};
+  story.answer = count_words.at(n);
+  return story;
+}
+
+// --- qa8: lists / sets --------------------------------------------------------
+
+Story gen_lists_sets(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const std::string& actor = pick(rng, world.actors());
+  const std::string& loc = pick(rng, world.locations());
+  world.move(actor, loc);
+  story.context.push_back(move_sentence(rng, actor, loc));
+
+  const std::size_t takes = rng.index(3);  // 0..2 -> closed answer set
+  const auto objs = pick_distinct(rng, world.objects(), takes);
+  for (const std::string& obj : objs) {
+    world.grab(actor, obj);
+    story.context.push_back(grab_sentence(rng, actor, obj));
+  }
+  if (!objs.empty() && rng.index(3) == 0) {
+    const std::string& victim = pick(rng, objs);
+    world.drop(actor, victim);
+    story.context.push_back(drop_sentence(rng, actor, victim));
+  }
+
+  auto carried = world.carried(actor);
+  std::sort(carried.begin(), carried.end());
+  story.question = {"what", "is", actor, "carrying"};
+  if (carried.empty()) {
+    story.answer = "nothing";
+  } else {
+    std::string joined = carried[0];
+    for (std::size_t i = 1; i < carried.size(); ++i) {
+      joined += "_" + carried[i];
+    }
+    story.answer = joined;
+  }
+  return story;
+}
+
+// --- qa9: simple negation ------------------------------------------------------
+
+Story gen_simple_negation(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const auto chosen = pick_distinct(rng, world.actors(), 3);
+
+  // Statements about several actors; the last statement about the queried
+  // actor decides the answer.
+  struct Statement {
+    std::string actor;
+    std::string location;
+    bool negated = false;
+  };
+  std::vector<Statement> statements;
+  const std::size_t count = 2 + rng.index(3);
+  for (std::size_t i = 0; i < count; ++i) {
+    Statement st;
+    st.actor = pick(rng, chosen);
+    st.location = pick(rng, world.locations());
+    st.negated = rng.index(2) == 0;
+    statements.push_back(st);
+    if (st.negated) {
+      story.context.push_back(
+          {st.actor, "is", "not", "in", "the", st.location});
+    } else if (rng.index(2) == 0) {
+      story.context.push_back({st.actor, "is", "in", "the", st.location});
+    } else {
+      story.context.push_back(move_sentence(rng, st.actor, st.location));
+    }
+  }
+  // Controlled final statement so yes/no answers stay balanced: a
+  // majority-class guesser must not beat chance by much.
+  const std::string& queried = pick(rng, chosen);
+  const std::string& loc = pick(rng, world.locations());
+  const bool want_yes = rng.index(2) == 0;
+  if (want_yes) {
+    story.context.push_back({queried, "is", "in", "the", loc});
+    story.question = {"is", queried, "in", "the", loc};
+    story.answer = "yes";
+  } else if (rng.index(2) == 0) {
+    story.context.push_back({queried, "is", "not", "in", "the", loc});
+    story.question = {"is", queried, "in", "the", loc};
+    story.answer = "no";
+  } else {
+    story.context.push_back({queried, "is", "in", "the", loc});
+    std::string asked = loc;
+    while (asked == loc) {
+      asked = pick(rng, world.locations());
+    }
+    story.question = {"is", queried, "in", "the", asked};
+    story.answer = "no";
+  }
+  return story;
+}
+
+// --- qa10: indefinite knowledge --------------------------------------------------
+
+Story gen_indefinite_knowledge(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const auto chosen = pick_distinct(rng, world.actors(), 2);
+
+  // Noise sentence about the other actor.
+  {
+    const std::string& nl = pick(rng, world.locations());
+    story.context.push_back(move_sentence(rng, chosen[1], nl));
+  }
+
+  const std::string& actor = chosen[0];
+  const bool definite = rng.index(2) == 0;
+  if (definite) {
+    const std::string& loc = pick(rng, world.locations());
+    story.context.push_back({actor, "is", "in", "the", loc});
+    const std::size_t which = rng.index(2);
+    std::string asked = loc;
+    if (which == 1) {
+      while (asked == loc) {
+        asked = pick(rng, world.locations());
+      }
+    }
+    story.question = {"is", actor, "in", "the", asked};
+    story.answer = which == 0 ? "yes" : "no";
+    return story;
+  }
+  const auto pair = pick_distinct(rng, world.locations(), 2);
+  story.context.push_back(
+      {actor, "is", "either", "in", "the", pair[0], "or", "the", pair[1]});
+  const std::size_t which = rng.index(3);
+  if (which < 2) {
+    story.question = {"is", actor, "in", "the", pair[which]};
+    story.answer = "maybe";
+  } else {
+    std::string asked = pair[0];
+    while (asked == pair[0] || asked == pair[1]) {
+      asked = pick(rng, world.locations());
+    }
+    story.question = {"is", actor, "in", "the", asked};
+    story.answer = "no";
+  }
+  return story;
+}
+
+}  // namespace mann::data::detail

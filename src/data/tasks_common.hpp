@@ -1,0 +1,50 @@
+// Internal helpers shared by the task generator translation units.
+// Not part of the public API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/types.hpp"
+#include "numeric/random.hpp"
+
+namespace mann::data::detail {
+
+// Fixed lexicons (closed world; every token generated here ends up in the
+// task vocabulary, which sets the output dimension |I|).
+const std::vector<std::string>& actor_names();
+const std::vector<std::string>& location_names();
+const std::vector<std::string>& object_names();
+
+/// "he" or "she" for a known actor name.
+const std::string& pronoun(const std::string& actor);
+
+template <typename T>
+const T& pick(numeric::Rng& rng, const std::vector<T>& v) {
+  return v[rng.index(v.size())];
+}
+
+/// Picks `k` distinct elements in random order.
+std::vector<std::string> pick_distinct(numeric::Rng& rng,
+                                       const std::vector<std::string>& v,
+                                       std::size_t k);
+
+// Sentence templates with bAbI-like verb variation.
+Sentence move_sentence(numeric::Rng& rng, const std::string& actor,
+                       const std::string& location);
+Sentence pair_move_sentence(numeric::Rng& rng, const std::string& a,
+                            const std::string& b,
+                            const std::string& location);
+Sentence grab_sentence(numeric::Rng& rng, const std::string& actor,
+                       const std::string& object);
+Sentence drop_sentence(numeric::Rng& rng, const std::string& actor,
+                       const std::string& object);
+Sentence give_sentence(const std::string& from, const std::string& to,
+                       const std::string& object);
+
+/// "where is mary"
+Sentence where_is_actor(const std::string& actor);
+/// "where is the football"
+Sentence where_is_object(const std::string& object);
+
+}  // namespace mann::data::detail

@@ -1,0 +1,347 @@
+// Generators for the deduction / induction / spatial task families:
+// qa15, qa16, qa17, qa18, qa19, qa20.
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "data/tasks.hpp"
+#include "data/tasks_common.hpp"
+
+namespace mann::data::detail {
+namespace {
+
+struct SpeciesEntry {
+  std::string singular;
+  std::string plural;
+};
+
+const std::vector<SpeciesEntry>& species() {
+  static const std::vector<SpeciesEntry> v = {{"mouse", "mice"},
+                                              {"sheep", "sheep"},
+                                              {"swan", "swans"},
+                                              {"rat", "rats"}};
+  return v;
+}
+
+const std::vector<std::string>& predators() {
+  static const std::vector<std::string> v = {"wolves", "cats", "dogs",
+                                             "snakes"};
+  return v;
+}
+
+const std::vector<std::string>& animal_names() {
+  static const std::vector<std::string> v = {"gertrude", "lily", "bernhard",
+                                             "brian", "greg", "winona"};
+  return v;
+}
+
+const std::vector<std::string>& colors() {
+  static const std::vector<std::string> v = {"white", "green", "gray",
+                                             "yellow"};
+  return v;
+}
+
+struct Item {
+  std::string color;
+  std::string shape;
+  int x = 0;
+  int y = 0;
+};
+
+const std::vector<std::string>& shape_colors() {
+  static const std::vector<std::string> v = {"red", "blue", "pink"};
+  return v;
+}
+
+const std::vector<std::string>& shapes() {
+  static const std::vector<std::string> v = {"square", "triangle",
+                                             "rectangle", "sphere"};
+  return v;
+}
+
+const std::vector<std::string>& containers() {
+  static const std::vector<std::string> v = {"box", "chest", "suitcase",
+                                             "chocolate", "bottle"};
+  return v;
+}
+
+}  // namespace
+
+// --- qa15: basic deduction ------------------------------------------------
+
+Story gen_basic_deduction(numeric::Rng& rng) {
+  Story story;
+  // Random species -> predator mapping (a permutation keeps it bijective).
+  const std::size_t n = species().size();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  rng.shuffle(std::span<std::size_t>(perm));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    story.context.push_back({species()[i].plural, "are", "afraid", "of",
+                             predators()[perm[i]]});
+  }
+  // Name -> species facts.
+  const auto names = pick_distinct(rng, animal_names(), 3);
+  std::vector<std::size_t> name_species;
+  for (const std::string& name : names) {
+    const std::size_t s = rng.index(n);
+    name_species.push_back(s);
+    story.context.push_back({name, "is", "a", species()[s].singular});
+  }
+  rng.shuffle(std::span<Sentence>(story.context));
+
+  const std::size_t q = rng.index(names.size());
+  story.question = {"what", "is", names[q], "afraid", "of"};
+  story.answer = predators()[perm[name_species[q]]];
+  return story;
+}
+
+// --- qa16: basic induction -------------------------------------------------
+
+Story gen_basic_induction(numeric::Rng& rng) {
+  Story story;
+  // Two species, each with a color; one witness animal per species reveals
+  // the color, a second animal's color is asked.
+  const auto kinds = rng.sample_without_replacement(species().size(), 2);
+  const auto kind_colors = pick_distinct(rng, colors(), 2);
+  const auto names = pick_distinct(rng, animal_names(), 4);
+
+  // names[0]/names[1]: witnesses; names[2]/names[3]: queried.
+  for (std::size_t k = 0; k < 2; ++k) {
+    const SpeciesEntry& sp = species()[kinds[k]];
+    story.context.push_back({names[k], "is", "a", sp.singular});
+    story.context.push_back({names[k], "is", kind_colors[k]});
+    story.context.push_back({names[k + 2], "is", "a", sp.singular});
+  }
+  rng.shuffle(std::span<Sentence>(story.context));
+
+  const std::size_t q = rng.index(2);
+  story.question = {"what", "color", "is", names[q + 2]};
+  story.answer = kind_colors[q];
+  return story;
+}
+
+// --- qa17: positional reasoning -----------------------------------------------
+
+Story gen_positional_reasoning(numeric::Rng& rng) {
+  Story story;
+  // Three items on a grid; reveal two adjacent relations, ask a third.
+  const auto cols = pick_distinct(rng, shape_colors(), 3);
+  const auto shps = pick_distinct(rng, shapes(), 3);
+  std::array<Item, 3> items;
+  for (std::size_t i = 0; i < 3; ++i) {
+    items[i] = {cols[i], shps[i], 0, 0};
+  }
+
+  auto relate = [&](std::size_t a, std::size_t b) -> Sentence {
+    // Choose a relation of item a w.r.t. item b and set coordinates.
+    switch (rng.index(4)) {
+      case 0:
+        items[a].x = items[b].x - 1;
+        items[a].y = items[b].y;
+        return {"the", items[a].color, items[a].shape, "is", "to", "the",
+                "left", "of", "the", items[b].color, items[b].shape};
+      case 1:
+        items[a].x = items[b].x + 1;
+        items[a].y = items[b].y;
+        return {"the", items[a].color, items[a].shape, "is", "to", "the",
+                "right", "of", "the", items[b].color, items[b].shape};
+      case 2:
+        items[a].x = items[b].x;
+        items[a].y = items[b].y + 1;
+        return {"the", items[a].color, items[a].shape, "is", "above", "the",
+                items[b].color, items[b].shape};
+      default:
+        items[a].x = items[b].x;
+        items[a].y = items[b].y - 1;
+        return {"the", items[a].color, items[a].shape, "is", "below", "the",
+                items[b].color, items[b].shape};
+    }
+  };
+
+  story.context.push_back(relate(0, 1));
+  story.context.push_back(relate(2, 1));
+
+  // Ask about a determined axis between two random distinct items.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::size_t a = rng.index(3);
+    std::size_t b = rng.index(3);
+    if (a == b) {
+      continue;
+    }
+    const Item& ia = items[a];
+    const Item& ib = items[b];
+    const std::size_t form = rng.index(4);
+    bool truth = false;
+    Sentence q;
+    if (form == 0 && ia.x != ib.x) {
+      truth = ia.x < ib.x;
+      q = {"is", "the", ia.color, ia.shape, "to", "the", "left", "of",
+           "the", ib.color, ib.shape};
+    } else if (form == 1 && ia.x != ib.x) {
+      truth = ia.x > ib.x;
+      q = {"is", "the", ia.color, ia.shape, "to", "the", "right", "of",
+           "the", ib.color, ib.shape};
+    } else if (form == 2 && ia.y != ib.y) {
+      truth = ia.y > ib.y;
+      q = {"is", "the", ia.color, ia.shape, "above", "the", ib.color,
+           ib.shape};
+    } else if (form == 3 && ia.y != ib.y) {
+      truth = ia.y < ib.y;
+      q = {"is", "the", ia.color, ia.shape, "below", "the", ib.color,
+           ib.shape};
+    } else {
+      continue;
+    }
+    story.question = q;
+    story.answer = truth ? "yes" : "no";
+    return story;
+  }
+  throw std::logic_error("qa17: failed to form a determined question");
+}
+
+// --- qa18: size reasoning ---------------------------------------------------------
+
+Story gen_size_reasoning(numeric::Rng& rng) {
+  Story story;
+  // A random strict size order over four containers; reveal the three
+  // adjacent comparisons, ask a transitively-determined pair.
+  auto order = pick_distinct(rng, containers(), 4);  // order[0] largest
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (rng.index(2) == 0) {
+      story.context.push_back({"the", order[i], "is", "bigger", "than",
+                               "the", order[i + 1]});
+    } else {
+      story.context.push_back({"the", order[i + 1], "fits", "inside", "the",
+                               order[i]});
+    }
+  }
+  rng.shuffle(std::span<Sentence>(story.context));
+
+  std::size_t a = rng.index(order.size());
+  std::size_t b = rng.index(order.size());
+  while (a == b) {
+    b = rng.index(order.size());
+  }
+  const bool a_bigger = a < b;
+  if (rng.index(2) == 0) {
+    story.question = {"is", "the", order[a], "bigger", "than", "the",
+                      order[b]};
+    story.answer = a_bigger ? "yes" : "no";
+  } else {
+    story.question = {"does", "the", order[a], "fit", "inside", "the",
+                      order[b]};
+    story.answer = a_bigger ? "no" : "yes";
+  }
+  return story;
+}
+
+// --- qa19: path finding ------------------------------------------------------------
+
+Story gen_path_finding(numeric::Rng& rng) {
+  Story story;
+  // Plus-shaped map: center plus its four compass neighbors.
+  const auto rooms = pick_distinct(rng, location_names(), 5);
+  struct Node {
+    std::string name;
+    int x;
+    int y;
+  };
+  // rooms[0] center; N/E/S/W neighbors.
+  const std::array<Node, 5> nodes = {{{rooms[0], 0, 0},
+                                      {rooms[1], 0, 1},
+                                      {rooms[2], 1, 0},
+                                      {rooms[3], 0, -1},
+                                      {rooms[4], -1, 0}}};
+  story.context = {
+      {"the", nodes[1].name, "is", "north", "of", "the", nodes[0].name},
+      {"the", nodes[2].name, "is", "east", "of", "the", nodes[0].name},
+      {"the", nodes[3].name, "is", "south", "of", "the", nodes[0].name},
+      {"the", nodes[4].name, "is", "west", "of", "the", nodes[0].name},
+  };
+  rng.shuffle(std::span<Sentence>(story.context));
+
+  // Choose distinct endpoints; the plus shape keeps |dx|,|dy| <= 1 except
+  // for opposite arms (distance 2 on one axis), which we skip so every
+  // answer is at most two steps with one step per axis.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::size_t a = rng.index(5);
+    const std::size_t b = rng.index(5);
+    if (a == b) {
+      continue;
+    }
+    const int dx = nodes[b].x - nodes[a].x;
+    const int dy = nodes[b].y - nodes[a].y;
+    if (dx < -1 || dx > 1 || dy < -1 || dy > 1) {
+      continue;  // opposite arms
+    }
+    std::string answer;
+    if (dy > 0) {
+      answer = "north";
+    } else if (dy < 0) {
+      answer = "south";
+    }
+    if (dx != 0) {
+      const std::string horizontal = dx > 0 ? "east" : "west";
+      answer = answer.empty() ? horizontal : answer + "_" + horizontal;
+    }
+    story.question = {"how", "do", "you", "go", "from", "the", nodes[a].name,
+                      "to", "the", nodes[b].name};
+    story.answer = answer;
+    return story;
+  }
+  throw std::logic_error("qa19: failed to pick endpoints");
+}
+
+// --- qa20: agent motivations ----------------------------------------------------------
+
+Story gen_agents_motivations(numeric::Rng& rng) {
+  Story story;
+  struct Motivation {
+    std::string state;
+    std::string destination;
+  };
+  static const std::vector<Motivation> table = {{"hungry", "kitchen"},
+                                                {"sleepy", "bedroom"},
+                                                {"bored", "garden"},
+                                                {"thirsty", "office"}};
+  const auto people = pick_distinct(rng, actor_names(), 2);
+  const Motivation& m0 = table[rng.index(table.size())];
+  const Motivation& m1 = table[rng.index(table.size())];
+
+  story.context.push_back({people[0], "is", m0.state});
+  story.context.push_back(
+      {people[0], "went", "to", "the", m0.destination});
+  story.context.push_back({people[1], "is", m1.state});
+  story.context.push_back(
+      {people[1], "went", "to", "the", m1.destination});
+
+  const std::size_t q = rng.index(2);
+  const Motivation& mq = q == 0 ? m0 : m1;
+  if (rng.index(2) == 0) {
+    story.question = {"why", "did", people[q], "go", "to", "the",
+                      mq.destination};
+    story.answer = mq.state;
+  } else {
+    // Predictive form asked before the move is revealed; rebuild context
+    // without the queried actor's move sentence.
+    story.context.clear();
+    story.context.push_back({people[0], "is", m0.state});
+    story.context.push_back({people[1], "is", m1.state});
+    if (q == 1) {
+      story.context.push_back(
+          {people[0], "went", "to", "the", m0.destination});
+    } else {
+      story.context.push_back(
+          {people[1], "went", "to", "the", m1.destination});
+    }
+    story.question = {"where", "will", people[q], "go"};
+    story.answer = mq.destination;
+  }
+  return story;
+}
+
+}  // namespace mann::data::detail

@@ -1,0 +1,267 @@
+// Generators for the coreference / relation / time task families:
+// qa4, qa5, qa11, qa12, qa13, qa14.
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "data/tasks.hpp"
+#include "data/tasks_common.hpp"
+#include "data/world.hpp"
+
+namespace mann::data::detail {
+namespace {
+
+const std::vector<std::string>& directions() {
+  static const std::vector<std::string> v = {"north", "south", "east",
+                                             "west"};
+  return v;
+}
+
+std::string opposite(const std::string& dir) {
+  if (dir == "north") return "south";
+  if (dir == "south") return "north";
+  if (dir == "east") return "west";
+  if (dir == "west") return "east";
+  throw std::invalid_argument("opposite: bad direction " + dir);
+}
+
+}  // namespace
+
+// --- qa4: two-argument relations ---------------------------------------------
+
+Story gen_two_arg_relations(numeric::Rng& rng) {
+  Story story;
+  // A chain of three distinct rooms: A <dir1> B, B <dir2> C.
+  const auto rooms = pick_distinct(rng, location_names(), 3);
+  const std::string& d1 = pick(rng, directions());
+  std::string d2 = pick(rng, directions());
+  while (d2 == opposite(d1)) {  // keep the chain acyclic
+    d2 = pick(rng, directions());
+  }
+  // "the A is north of the B" means A is to the north of B.
+  std::vector<Sentence> facts = {
+      {"the", rooms[0], "is", d1, "of", "the", rooms[1]},
+      {"the", rooms[1], "is", d2, "of", "the", rooms[2]},
+  };
+  if (rng.index(2) == 0) {
+    std::swap(facts[0], facts[1]);
+  }
+  story.context = facts;
+
+  // Four question forms, all uniquely answerable from one fact.
+  switch (rng.index(4)) {
+    case 0:
+      story.question = {"what", "is", d1, "of", "the", rooms[1]};
+      story.answer = rooms[0];
+      break;
+    case 1:
+      story.question = {"what", "is", "the", rooms[0], d1, "of"};
+      story.answer = rooms[1];
+      break;
+    case 2:
+      story.question = {"what", "is", d2, "of", "the", rooms[2]};
+      story.answer = rooms[1];
+      break;
+    default:
+      story.question = {"what", "is", "the", rooms[1], d2, "of"};
+      story.answer = rooms[2];
+      break;
+  }
+  return story;
+}
+
+// --- qa5: three-argument relations ---------------------------------------------
+
+Story gen_three_arg_relations(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const auto people = pick_distinct(rng, world.actors(), 3);
+  const auto objs = pick_distinct(rng, world.objects(), 2);
+
+  // Two give chains with a shared location so 'gave' has context.
+  const std::string& loc = pick(rng, world.locations());
+  world.move(people[0], loc);
+  story.context.push_back(move_sentence(rng, people[0], loc));
+  world.move(people[1], loc);
+  story.context.push_back(move_sentence(rng, people[1], loc));
+
+  world.grab(people[0], objs[0]);
+  story.context.push_back(grab_sentence(rng, people[0], objs[0]));
+  world.give(people[0], people[1], objs[0]);
+  story.context.push_back(give_sentence(people[0], people[1], objs[0]));
+
+  const bool second_give = rng.index(2) == 0;
+  if (second_give) {
+    world.move(people[2], loc);
+    story.context.push_back(move_sentence(rng, people[2], loc));
+    world.grab(people[2], objs[1]);
+    story.context.push_back(grab_sentence(rng, people[2], objs[1]));
+    world.give(people[2], people[0], objs[1]);
+    story.context.push_back(give_sentence(people[2], people[0], objs[1]));
+  }
+
+  // Question about the *last* give event (unambiguous).
+  const std::string& giver = second_give ? people[2] : people[0];
+  const std::string& receiver = second_give ? people[0] : people[1];
+  const std::string& object = second_give ? objs[1] : objs[0];
+  switch (rng.index(3)) {
+    case 0:
+      story.question = {"who", "gave", "the", object, "to", receiver};
+      story.answer = giver;
+      break;
+    case 1:
+      story.question = {"what", "did", giver, "give", "to", receiver};
+      story.answer = object;
+      break;
+    default:
+      story.question = {"who", "did", giver, "give", "the", object, "to"};
+      story.answer = receiver;
+      break;
+  }
+  return story;
+}
+
+// --- qa11: basic coreference ------------------------------------------------------
+
+Story gen_basic_coreference(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const std::size_t pairs = 1 + rng.index(2);
+  std::vector<std::string> movers;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::string& actor = pick(rng, world.actors());
+    const std::string& l1 = pick(rng, world.locations());
+    world.move(actor, l1);
+    story.context.push_back(move_sentence(rng, actor, l1));
+    // Pronoun sentence refers to the immediately preceding actor.
+    const std::string& l2 = pick(rng, world.locations());
+    world.move(actor, l2);
+    static const std::vector<std::string> connectives = {"then",
+                                                         "afterwards",
+                                                         "following", "that"};
+    const std::size_t form = rng.index(3);
+    if (form == 0) {
+      story.context.push_back(
+          {"then", pronoun(actor), "went", "to", "the", l2});
+    } else if (form == 1) {
+      story.context.push_back(
+          {"afterwards", pronoun(actor), "moved", "to", "the", l2});
+    } else {
+      story.context.push_back(
+          {"following", "that", pronoun(actor), "journeyed", "to", "the",
+           l2});
+    }
+    movers.push_back(actor);
+  }
+  const std::string& queried = pick(rng, movers);
+  story.question = where_is_actor(queried);
+  story.answer = *world.actor_location(queried);
+  return story;
+}
+
+// --- qa12: conjunction ---------------------------------------------------------------
+
+Story gen_conjunction(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const std::size_t events = 2 + rng.index(2);
+  std::vector<std::string> mentioned;
+  for (std::size_t i = 0; i < events; ++i) {
+    const auto pair = pick_distinct(rng, world.actors(), 2);
+    const std::string& loc = pick(rng, world.locations());
+    world.move(pair[0], loc);
+    world.move(pair[1], loc);
+    story.context.push_back(pair_move_sentence(rng, pair[0], pair[1], loc));
+    mentioned.push_back(pair[0]);
+    mentioned.push_back(pair[1]);
+  }
+  const std::string& queried = pick(rng, mentioned);
+  story.question = where_is_actor(queried);
+  story.answer = *world.actor_location(queried);
+  return story;
+}
+
+// --- qa13: compound coreference -------------------------------------------------------
+
+Story gen_compound_coreference(numeric::Rng& rng) {
+  World world(actor_names(), location_names(), object_names());
+  Story story;
+  const std::size_t groups = 1 + rng.index(2);
+  std::vector<std::string> mentioned;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const auto pair = pick_distinct(rng, world.actors(), 2);
+    const std::string& l1 = pick(rng, world.locations());
+    world.move(pair[0], l1);
+    world.move(pair[1], l1);
+    story.context.push_back(pair_move_sentence(rng, pair[0], pair[1], l1));
+    // "then they went to the X" — 'they' binds to the preceding pair.
+    const std::string& l2 = pick(rng, world.locations());
+    world.move(pair[0], l2);
+    world.move(pair[1], l2);
+    if (rng.index(2) == 0) {
+      story.context.push_back({"then", "they", "went", "to", "the", l2});
+    } else {
+      story.context.push_back(
+          {"after", "that", "they", "moved", "to", "the", l2});
+    }
+    mentioned.push_back(pair[0]);
+    mentioned.push_back(pair[1]);
+  }
+  const std::string& queried = pick(rng, mentioned);
+  story.question = where_is_actor(queried);
+  story.answer = *world.actor_location(queried);
+  return story;
+}
+
+// --- qa14: time reasoning ----------------------------------------------------------------
+
+Story gen_time_reasoning(numeric::Rng& rng) {
+  Story story;
+  // Ordered time slots, oldest first. Rendered as one leading token so the
+  // BoW encoder keeps them distinguishable.
+  static const std::vector<std::string> slots = {"yesterday", "morning",
+                                                 "afternoon", "evening"};
+  const std::string& actor = pick(rng, actor_names());
+  const std::string& noise_actor = [&] {
+    const std::string* n = &pick(rng, actor_names());
+    while (*n == actor) {
+      n = &pick(rng, actor_names());
+    }
+    return *n;
+  }();
+
+  // Assign a distinct location per slot for the queried actor.
+  const std::size_t used = 3 + rng.index(2);  // 3 or 4 slots
+  const auto locs = pick_distinct(rng, location_names(), used);
+  struct Visit {
+    std::string slot;
+    std::string loc;
+  };
+  std::vector<Visit> visits;
+  for (std::size_t i = 0; i < used; ++i) {
+    visits.push_back({slots[i], locs[i]});
+  }
+
+  // Render in shuffled order, with a noise sentence mixed in.
+  std::vector<Sentence> rendered;
+  for (const Visit& v : visits) {
+    if (v.slot == "yesterday") {
+      rendered.push_back({"yesterday", actor, "went", "to", "the", v.loc});
+    } else {
+      rendered.push_back(
+          {"this", v.slot, actor, "went", "to", "the", v.loc});
+    }
+  }
+  rendered.push_back(move_sentence(rng, noise_actor,
+                                   pick(rng, location_names())));
+  rng.shuffle(std::span<Sentence>(rendered));
+  story.context = rendered;
+
+  // "where was X before the <loc_k>" -> loc_{k-1}.
+  const std::size_t k = 1 + rng.index(used - 1);
+  story.question = {"where", "was", actor, "before", "the", visits[k].loc};
+  story.answer = visits[k - 1].loc;
+  return story;
+}
+
+}  // namespace mann::data::detail

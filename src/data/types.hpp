@@ -1,0 +1,34 @@
+// Plain-data story/QA types shared across the data pipeline.
+//
+// The paper evaluates on the 20 bAbI QA tasks: short stories (sequences of
+// simple sentences), each followed by a question with a single-token answer.
+// We generate synthetic stories with the same structure (see tasks.hpp for
+// the substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mann::data {
+
+/// A sentence as a sequence of lowercase word tokens (no punctuation).
+using Sentence = std::vector<std::string>;
+
+/// One QA example: context sentences, a question, and a one-token answer.
+struct Story {
+  std::vector<Sentence> context;
+  Sentence question;
+  std::string answer;
+};
+
+/// Word-index form of a Story after vocabulary lookup. Sentences are
+/// bags of word indices — exactly the sparse form Eq. 2 of the paper
+/// exploits in the INPUT & WRITE module.
+struct EncodedStory {
+  std::vector<std::vector<std::int32_t>> context;
+  std::vector<std::int32_t> question;
+  std::int32_t answer = -1;
+};
+
+}  // namespace mann::data

@@ -1,0 +1,80 @@
+#include "data/vocab.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mann::data {
+
+std::int32_t Vocab::add(std::string_view word) {
+  const auto it = index_.find(std::string(word));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::int32_t>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+std::optional<std::int32_t> Vocab::find(std::string_view word) const {
+  const auto it = index_.find(std::string(word));
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::int32_t Vocab::at(std::string_view word) const {
+  const auto found = find(word);
+  if (!found) {
+    throw std::out_of_range("Vocab::at: unknown word: " + std::string(word));
+  }
+  return *found;
+}
+
+const std::string& Vocab::word(std::int32_t i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= words_.size()) {
+    throw std::out_of_range("Vocab::word: bad index");
+  }
+  return words_[static_cast<std::size_t>(i)];
+}
+
+void save_vocab(std::ostream& out, const Vocab& vocab) {
+  for (std::size_t i = 0; i < vocab.size(); ++i) {
+    out << vocab.word(static_cast<std::int32_t>(i)) << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("save_vocab: stream failure");
+  }
+}
+
+void save_vocab_file(const std::string& path, const Vocab& vocab) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_vocab_file: cannot open " + path);
+  }
+  save_vocab(out, vocab);
+}
+
+Vocab load_vocab(std::istream& in) {
+  Vocab vocab;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      vocab.add(line);
+    }
+  }
+  return vocab;
+}
+
+Vocab load_vocab_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_vocab_file: cannot open " + path);
+  }
+  return load_vocab(in);
+}
+
+}  // namespace mann::data

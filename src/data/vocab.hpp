@@ -1,0 +1,51 @@
+// Closed-world vocabulary: word <-> dense index.
+//
+// The output layer of the MANN (Eq. 6) is a dot product per vocabulary
+// entry, so vocabulary size |I| is the quantity that makes MIPS expensive
+// and inference thresholding worthwhile. Each task gets its own vocabulary
+// built from its generated stories.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mann::data {
+
+/// Bidirectional word <-> index map with insertion-order indices.
+class Vocab {
+ public:
+  /// Returns the index for `word`, inserting it if new.
+  std::int32_t add(std::string_view word);
+
+  /// Index lookup without insertion.
+  [[nodiscard]] std::optional<std::int32_t> find(
+      std::string_view word) const;
+
+  /// Index lookup that throws std::out_of_range for unknown words
+  /// (generation and encoding share one closed world, so a miss is a bug).
+  [[nodiscard]] std::int32_t at(std::string_view word) const;
+
+  /// Word for index `i`. Throws std::out_of_range on bad index.
+  [[nodiscard]] const std::string& word(std::int32_t i) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return words_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return words_.empty(); }
+
+ private:
+  std::unordered_map<std::string, std::int32_t> index_;
+  std::vector<std::string> words_;
+};
+
+/// Text serialization: one word per line, index == line number. Makes a
+/// saved model artifact self-contained (model.bin + model.bin.vocab).
+void save_vocab(std::ostream& out, const Vocab& vocab);
+void save_vocab_file(const std::string& path, const Vocab& vocab);
+[[nodiscard]] Vocab load_vocab(std::istream& in);
+[[nodiscard]] Vocab load_vocab_file(const std::string& path);
+
+}  // namespace mann::data

@@ -1,0 +1,110 @@
+#include "model/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "numeric/vector_ops.hpp"
+
+namespace mann::model {
+namespace {
+
+/// Softmax over the `top_k` best entries of `scores`; all others get
+/// exactly zero weight. Matches the MEM module's sparse mode.
+std::vector<float> sparse_softmax(std::vector<float> scores,
+                                  std::size_t top_k) {
+  const std::size_t n = scores.size();
+  if (top_k == 0 || top_k >= n) {
+    numeric::softmax_inplace(scores);
+    return scores;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(top_k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return scores[a] > scores[b];
+                    });
+  float max_score = scores[order[0]];
+  float sum = 0.0F;
+  std::vector<float> out(n, 0.0F);
+  for (std::size_t r = 0; r < top_k; ++r) {
+    const float e = std::exp(scores[order[r]] - max_score);
+    out[order[r]] = e;
+    sum += e;
+  }
+  for (std::size_t r = 0; r < top_k; ++r) {
+    out[order[r]] /= sum;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> sparse_forward_features(const MemN2N& net,
+                                           const data::EncodedStory& story,
+                                           std::size_t top_k) {
+  const ModelConfig& cfg = net.config();
+  const Parameters& p = net.params();
+  const std::size_t slots = net.memory_slots(story);
+  const std::size_t first = story.context.size() - slots;
+  const std::size_t e = cfg.embedding_dim;
+
+  // Eq. 2 memories.
+  numeric::Matrix mem_a(slots, e);
+  numeric::Matrix mem_c(slots, e);
+  for (std::size_t i = 0; i < slots; ++i) {
+    for (const std::int32_t w : story.context[first + i]) {
+      numeric::axpy(1.0F, p.embedding_a.row(static_cast<std::size_t>(w)),
+                    mem_a.row(i));
+      numeric::axpy(1.0F, p.embedding_c.row(static_cast<std::size_t>(w)),
+                    mem_c.row(i));
+    }
+  }
+  std::vector<float> k(e, 0.0F);
+  for (const std::int32_t w : story.question) {
+    numeric::axpy(1.0F, p.embedding_q.row(static_cast<std::size_t>(w)),
+                  std::span<float>(k));
+  }
+
+  for (std::size_t hop = 0; hop < cfg.hops; ++hop) {
+    const std::vector<float> attention =
+        sparse_softmax(numeric::matvec(mem_a, k), top_k);
+    std::vector<float> read = numeric::matvec_transposed(mem_c, attention);
+    std::vector<float> h = numeric::matvec(p.w_r, k);
+    numeric::axpy(1.0F, read, std::span<float>(h));
+    k = std::move(h);
+  }
+  return k;
+}
+
+std::vector<float> sparse_logits(const MemN2N& net,
+                                 const data::EncodedStory& story,
+                                 std::size_t top_k) {
+  return numeric::matvec(net.params().w_o,
+                         sparse_forward_features(net, story, top_k));
+}
+
+std::size_t sparse_predict(const MemN2N& net,
+                           const data::EncodedStory& story,
+                           std::size_t top_k) {
+  return numeric::argmax(sparse_logits(net, story, top_k));
+}
+
+float evaluate_sparse_accuracy(const MemN2N& net,
+                               const std::vector<data::EncodedStory>& stories,
+                               std::size_t top_k) {
+  if (stories.empty()) {
+    return 0.0F;
+  }
+  std::size_t correct = 0;
+  for (const data::EncodedStory& story : stories) {
+    if (sparse_predict(net, story, top_k) ==
+        static_cast<std::size_t>(story.answer)) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(stories.size());
+}
+
+}  // namespace mann::model

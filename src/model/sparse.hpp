@@ -1,0 +1,38 @@
+// Sparse memory reads: top-k attention truncation.
+//
+// The paper's related work (§VI-B) cites sparse access memory (Rae et al.
+// 2016) as a way to cut MANN memory-read cost. This is that idea applied
+// to our MEM pipeline: content addressing still scores every slot (the
+// dot products are unavoidable), but the expensive element-wise softmax
+// (exp + divide) and the weighted read run over only the k best slots.
+// The accelerator mirrors this via AccelConfig::sparse_read_slots; the
+// functions here are the float reference used to choose k.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/types.hpp"
+#include "model/memn2n.hpp"
+
+namespace mann::model {
+
+/// Forward pass to h^H with attention truncated to the `top_k`
+/// highest-scoring slots per hop (softmax renormalized over the survivors).
+/// `top_k == 0` or `top_k >= slots` reproduces the dense forward exactly.
+[[nodiscard]] std::vector<float> sparse_forward_features(
+    const MemN2N& net, const data::EncodedStory& story, std::size_t top_k);
+
+/// Full logits / prediction under sparse reads.
+[[nodiscard]] std::vector<float> sparse_logits(
+    const MemN2N& net, const data::EncodedStory& story, std::size_t top_k);
+[[nodiscard]] std::size_t sparse_predict(const MemN2N& net,
+                                         const data::EncodedStory& story,
+                                         std::size_t top_k);
+
+/// Accuracy of the sparse-read model over a dataset.
+[[nodiscard]] float evaluate_sparse_accuracy(
+    const MemN2N& net, const std::vector<data::EncodedStory>& stories,
+    std::size_t top_k);
+
+}  // namespace mann::model

@@ -1,0 +1,76 @@
+#include "numeric/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mann::numeric {
+
+Histogram::Histogram(float lo, float hi, std::size_t bins)
+    : lo_(lo), hi_(hi) {
+  if (bins == 0) {
+    throw std::invalid_argument("Histogram: bins must be > 0");
+  }
+  if (!(lo < hi)) {
+    throw std::invalid_argument("Histogram: lo must be < hi");
+  }
+  width_ = (hi - lo) / static_cast<float>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(float value) {
+  const float pos = (value - lo_) / width_;
+  std::size_t b = 0;
+  if (pos >= 0.0F) {
+    b = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+  }
+  ++counts_[b];
+  ++total_;
+  sum_ += static_cast<double>(value);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value);
+  samples_.push_back(value);
+}
+
+std::size_t Histogram::count(std::size_t b) const {
+  if (b >= counts_.size()) {
+    throw std::out_of_range("Histogram::count: bad bin");
+  }
+  return counts_[b];
+}
+
+float Histogram::bin_center(std::size_t b) const {
+  if (b >= counts_.size()) {
+    throw std::out_of_range("Histogram::bin_center: bad bin");
+  }
+  return lo_ + (static_cast<float>(b) + 0.5F) * width_;
+}
+
+float Histogram::density(std::size_t b) const {
+  if (b >= counts_.size()) {
+    throw std::out_of_range("Histogram::density: bad bin");
+  }
+  if (total_ == 0) {
+    return 0.0F;
+  }
+  return static_cast<float>(counts_[b]) /
+         (static_cast<float>(total_) * width_);
+}
+
+float Histogram::mean() const noexcept {
+  if (total_ == 0) {
+    return 0.0F;
+  }
+  return static_cast<float>(sum_ / static_cast<double>(total_));
+}
+
+float Histogram::stddev() const noexcept {
+  if (total_ == 0) {
+    return 0.0F;
+  }
+  const double n = static_cast<double>(total_);
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return static_cast<float>(std::sqrt(var));
+}
+
+}  // namespace mann::numeric

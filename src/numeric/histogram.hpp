@@ -1,0 +1,66 @@
+// Streaming 1-D histogram.
+//
+// Algorithm 1, Step 1 of the paper accumulates two histograms per output
+// index (HG_i: logit values when i is the correct argmax; HG_ī: otherwise).
+// This class is that accumulator: fixed-width bins over a caller-chosen
+// range, with out-of-range samples clamped into the edge bins so that no
+// training logit is silently dropped.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mann::numeric {
+
+/// Fixed-bin histogram over [lo, hi); also retains raw samples so that
+/// downstream KDE / silhouette steps can reuse the exact observations.
+class Histogram {
+ public:
+  /// Creates a histogram with `bins` equal-width bins over [lo, hi).
+  /// Throws std::invalid_argument if bins == 0 or lo >= hi.
+  Histogram(float lo, float hi, std::size_t bins);
+
+  /// Adds one observation (clamped to the edge bins when out of range).
+  void add(float value);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  /// Count in bin `b`. Throws std::out_of_range on bad index.
+  [[nodiscard]] std::size_t count(std::size_t b) const;
+
+  /// Center of bin `b`. Throws std::out_of_range on bad index.
+  [[nodiscard]] float bin_center(std::size_t b) const;
+
+  [[nodiscard]] float lo() const noexcept { return lo_; }
+  [[nodiscard]] float hi() const noexcept { return hi_; }
+  [[nodiscard]] float bin_width() const noexcept { return width_; }
+
+  /// Density estimate at bin `b` (count / (total * bin_width)); 0 when empty.
+  [[nodiscard]] float density(std::size_t b) const;
+
+  /// Raw retained samples in insertion order.
+  [[nodiscard]] std::span<const float> samples() const noexcept {
+    return samples_;
+  }
+
+  /// Sample mean / (population) standard deviation. 0 when empty.
+  [[nodiscard]] float mean() const noexcept;
+  [[nodiscard]] float stddev() const noexcept;
+
+ private:
+  float lo_;
+  float hi_;
+  float width_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  std::vector<std::size_t> counts_;
+  std::vector<float> samples_;
+};
+
+}  // namespace mann::numeric

@@ -1,0 +1,78 @@
+#include "numeric/kde.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mann::numeric {
+namespace {
+
+constexpr float kMinBandwidth = 1e-3F;
+
+float sample_sigma(std::span<const float> samples) noexcept {
+  if (samples.empty()) {
+    return 0.0F;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (float s : samples) {
+    sum += s;
+    sum_sq += static_cast<double>(s) * s;
+  }
+  const double n = static_cast<double>(samples.size());
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - mean * mean);
+  return static_cast<float>(std::sqrt(var));
+}
+
+}  // namespace
+
+KernelDensity::KernelDensity(std::span<const float> samples, float bandwidth) {
+  centers_.assign(samples.begin(), samples.end());
+  weights_.assign(samples.size(), 1.0F);
+  total_ = samples.size();
+  select_bandwidth(bandwidth, sample_sigma(samples));
+}
+
+KernelDensity::KernelDensity(const Histogram& hist, float bandwidth) {
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    const std::size_t c = hist.count(b);
+    if (c > 0) {
+      centers_.push_back(hist.bin_center(b));
+      weights_.push_back(static_cast<float>(c));
+    }
+  }
+  total_ = hist.total();
+  select_bandwidth(bandwidth, hist.stddev());
+}
+
+void KernelDensity::select_bandwidth(float requested, float sigma) {
+  if (requested > 0.0F) {
+    bandwidth_ = requested;
+    return;
+  }
+  if (total_ == 0) {
+    bandwidth_ = 1.0F;
+    return;
+  }
+  const float n = static_cast<float>(total_);
+  const float silverman = 1.06F * sigma * std::pow(n, -0.2F);
+  bandwidth_ = std::max(silverman, kMinBandwidth);
+}
+
+float KernelDensity::operator()(float x) const noexcept {
+  if (total_ == 0) {
+    return 0.0F;
+  }
+  const float inv_h = 1.0F / bandwidth_;
+  const float norm =
+      inv_h / (static_cast<float>(total_) *
+               std::sqrt(2.0F * std::numbers::pi_v<float>));
+  float acc = 0.0F;
+  for (std::size_t i = 0; i < centers_.size(); ++i) {
+    const float u = (x - centers_[i]) * inv_h;
+    acc += weights_[i] * std::exp(-0.5F * u * u);
+  }
+  return acc * norm;
+}
+
+}  // namespace mann::numeric

@@ -1,0 +1,81 @@
+#include "numeric/lut.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mann::numeric {
+
+ExpLut::ExpLut(const Config& config)
+    : domain_min_(config.domain_min), domain_max_(config.domain_max) {
+  if (config.entries < 2) {
+    throw std::invalid_argument("ExpLut: need at least 2 entries");
+  }
+  if (!(domain_min_ < domain_max_)) {
+    throw std::invalid_argument("ExpLut: empty domain");
+  }
+  table_.resize(config.entries);
+  const float step =
+      (domain_max_ - domain_min_) / static_cast<float>(config.entries - 1);
+  inv_step_ = 1.0F / step;
+  for (std::size_t i = 0; i < config.entries; ++i) {
+    table_[i] = std::exp(domain_min_ + static_cast<float>(i) * step);
+  }
+  // Probe interpolation error on a grid 8x finer than the table.
+  const std::size_t probes = config.entries * 8;
+  const float probe_step =
+      (domain_max_ - domain_min_) / static_cast<float>(probes);
+  for (std::size_t i = 0; i <= probes; ++i) {
+    const float x = domain_min_ + static_cast<float>(i) * probe_step;
+    const float err = std::abs((*this)(x) - std::exp(x));
+    if (err > max_abs_error_) {
+      max_abs_error_ = err;
+    }
+  }
+}
+
+float ExpLut::operator()(float x) const noexcept {
+  if (x <= domain_min_) {
+    return table_.front();
+  }
+  if (x >= domain_max_) {
+    return table_.back();
+  }
+  const float pos = (x - domain_min_) * inv_step_;
+  const auto idx = static_cast<std::size_t>(pos);
+  const float frac = pos - static_cast<float>(idx);
+  return table_[idx] + frac * (table_[idx + 1] - table_[idx]);
+}
+
+ReciprocalLut::ReciprocalLut(const Config& config) {
+  if (config.entries < 2) {
+    throw std::invalid_argument("ReciprocalLut: need at least 2 entries");
+  }
+  seeds_.resize(config.entries);
+  for (std::size_t i = 0; i < config.entries; ++i) {
+    // Seed for mantissa m in [1, 2): reciprocal of the bucket midpoint.
+    const float m = 1.0F + (static_cast<float>(i) + 0.5F) /
+                               static_cast<float>(config.entries);
+    seeds_[i] = 1.0F / m;
+  }
+}
+
+float ReciprocalLut::operator()(float x) const noexcept {
+  if (!(x > 0.0F)) {
+    return std::numeric_limits<float>::max();
+  }
+  // Decompose x = m * 2^e with m in [1, 2).
+  int e = 0;
+  const float m = std::frexp(x, &e) * 2.0F;  // frexp gives [0.5, 1)
+  e -= 1;
+  const auto bucket = static_cast<std::size_t>(
+      (m - 1.0F) * static_cast<float>(seeds_.size()));
+  const std::size_t idx = bucket < seeds_.size() ? bucket : seeds_.size() - 1;
+  float r = seeds_[idx];
+  // Two Newton-Raphson refinements: r <- r * (2 - m*r).
+  r = r * (2.0F - m * r);
+  r = r * (2.0F - m * r);
+  return std::ldexp(r, -e);
+}
+
+}  // namespace mann::numeric

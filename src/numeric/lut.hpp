@@ -1,0 +1,78 @@
+// Lookup-table function units for the accelerator's softmax path.
+//
+// The paper's MEM module computes softmax "with element-wise sequential
+// operations" because exponentiation and division "cannot be parallelized on
+// an FPGA". A practical RTL implementation realizes exp() as a BRAM lookup
+// table with linear interpolation and the division via a reciprocal unit.
+// These classes model exactly that: bounded-domain, table-driven, with the
+// same quantization a hardware table would introduce. The float-vs-LUT error
+// budget is pinned down by tests and the fixed-point ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mann::numeric {
+
+/// Table-driven exp(x) over a clamped domain [`domain_min`, `domain_max`],
+/// with linear interpolation between entries.
+///
+/// Inputs below the domain return exp(domain_min) (effectively 0 for the
+/// softmax use-case); inputs above saturate at exp(domain_max). Softmax
+/// callers subtract the running maximum first, so the useful domain is
+/// x <= 0 and the default domain [-16, 0] leaves headroom.
+class ExpLut {
+ public:
+  struct Config {
+    float domain_min = -16.0F;
+    float domain_max = 0.0F;
+    std::size_t entries = 1024;  ///< BRAM depth; power of two in practice.
+  };
+
+  /// Default domain/depth configuration.
+  ExpLut() : ExpLut(Config{}) {}
+
+  explicit ExpLut(const Config& config);
+
+  /// LUT + linear interpolation evaluation of exp(x).
+  [[nodiscard]] float operator()(float x) const noexcept;
+
+  /// Worst-case absolute error vs std::exp over the domain (probed on a
+  /// fine grid at construction; used by tests and the ablation bench).
+  [[nodiscard]] float max_abs_error() const noexcept { return max_abs_error_; }
+
+  [[nodiscard]] std::size_t entries() const noexcept { return table_.size(); }
+
+ private:
+  float domain_min_;
+  float domain_max_;
+  float inv_step_;
+  float max_abs_error_ = 0.0F;
+  std::vector<float> table_;
+};
+
+/// Table-seeded reciprocal 1/x refined with two Newton-Raphson iterations —
+/// the standard FPGA divider replacement (one BRAM read + 2 fused
+/// multiply-adds per iteration).
+class ReciprocalLut {
+ public:
+  struct Config {
+    std::size_t entries = 256;  ///< seed table depth
+  };
+
+  /// Default table depth.
+  ReciprocalLut() : ReciprocalLut(Config{}) {}
+
+  explicit ReciprocalLut(const Config& config);
+
+  /// Approximates 1/x for x > 0. Returns +inf-like saturation (max float)
+  /// for x <= 0, which the softmax path never produces.
+  [[nodiscard]] float operator()(float x) const noexcept;
+
+  [[nodiscard]] std::size_t entries() const noexcept { return seeds_.size(); }
+
+ private:
+  std::vector<float> seeds_;  ///< seeds for mantissa in [1, 2)
+};
+
+}  // namespace mann::numeric

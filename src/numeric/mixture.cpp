@@ -1,0 +1,117 @@
+#include "numeric/mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace mann::numeric {
+
+float normal_pdf(float x, float mean, float stddev) noexcept {
+  const float inv = 1.0F / stddev;
+  const float u = (x - mean) * inv;
+  return inv * std::exp(-0.5F * u * u) /
+         std::sqrt(2.0F * std::numbers::pi_v<float>);
+}
+
+float separation(const MixtureFit& fit) noexcept {
+  const float spread = fit.low.stddev + fit.high.stddev;
+  if (spread <= 0.0F) {
+    return 0.0F;
+  }
+  return (fit.high.mean - fit.low.mean) / spread;
+}
+
+MixtureFit fit_two_gaussians(std::span<const float> samples,
+                             const MixtureFitOptions& options) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("fit_two_gaussians: need >= 2 samples");
+  }
+  std::vector<float> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t half = n / 2;
+
+  auto moments = [](std::span<const float> xs) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (float x : xs) {
+      sum += x;
+      sq += static_cast<double>(x) * x;
+    }
+    const double m = sum / static_cast<double>(xs.size());
+    const double var =
+        std::max(1e-8, sq / static_cast<double>(xs.size()) - m * m);
+    return std::pair<float, float>{static_cast<float>(m),
+                                   static_cast<float>(std::sqrt(var))};
+  };
+
+  MixtureFit fit;
+  {
+    const auto [m_lo, s_lo] =
+        moments(std::span<const float>(sorted.data(), half));
+    const auto [m_hi, s_hi] =
+        moments(std::span<const float>(sorted.data() + half, n - half));
+    fit.low = {0.5F, m_lo, std::max(s_lo, options.min_stddev)};
+    fit.high = {0.5F, m_hi, std::max(s_hi, options.min_stddev)};
+  }
+
+  std::vector<float> resp(n, 0.5F);  // responsibility of the 'high' component
+  double prev_ll = -1e30;
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    // E-step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float p_lo =
+          fit.low.weight * normal_pdf(sorted[i], fit.low.mean, fit.low.stddev);
+      const float p_hi = fit.high.weight *
+                         normal_pdf(sorted[i], fit.high.mean, fit.high.stddev);
+      const float denom = std::max(p_lo + p_hi, 1e-30F);
+      resp[i] = p_hi / denom;
+      ll += std::log(static_cast<double>(denom));
+    }
+    // M-step.
+    double w_hi = 0.0;
+    double mu_hi = 0.0;
+    double mu_lo = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w_hi += resp[i];
+      mu_hi += static_cast<double>(resp[i]) * sorted[i];
+      mu_lo += static_cast<double>(1.0F - resp[i]) * sorted[i];
+    }
+    const double w_lo = static_cast<double>(n) - w_hi;
+    if (w_hi > 1e-6 && w_lo > 1e-6) {
+      fit.high.mean = static_cast<float>(mu_hi / w_hi);
+      fit.low.mean = static_cast<float>(mu_lo / w_lo);
+      double var_hi = 0.0;
+      double var_lo = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d_hi = sorted[i] - fit.high.mean;
+        const double d_lo = sorted[i] - fit.low.mean;
+        var_hi += static_cast<double>(resp[i]) * d_hi * d_hi;
+        var_lo += static_cast<double>(1.0F - resp[i]) * d_lo * d_lo;
+      }
+      fit.high.stddev = std::max(
+          static_cast<float>(std::sqrt(var_hi / w_hi)), options.min_stddev);
+      fit.low.stddev = std::max(
+          static_cast<float>(std::sqrt(var_lo / w_lo)), options.min_stddev);
+      fit.high.weight = static_cast<float>(w_hi / static_cast<double>(n));
+      fit.low.weight = 1.0F - fit.high.weight;
+    }
+    fit.iterations = iter;
+    fit.log_likelihood = static_cast<float>(ll);
+    if (std::abs(ll - prev_ll) <=
+        static_cast<double>(options.tolerance) * (std::abs(prev_ll) + 1.0)) {
+      fit.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  if (fit.low.mean > fit.high.mean) {
+    std::swap(fit.low, fit.high);
+  }
+  return fit;
+}
+
+}  // namespace mann::numeric

@@ -1,0 +1,50 @@
+// Two-component 1-D Gaussian mixture model fitted with EM.
+//
+// Fig. 2(b) of the paper motivates inference thresholding by showing that a
+// trained model's logits "are fitted to the mixture models": for each output
+// index the logit population splits into a 'this index is the answer' mode
+// and a 'it is not' mode. This fitter reproduces that analysis (and the
+// fig2b bench reports the fitted components for our trained models).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mann::numeric {
+
+/// Parameters of one Gaussian mixture component.
+struct GaussianComponent {
+  float weight = 0.5F;
+  float mean = 0.0F;
+  float stddev = 1.0F;
+};
+
+/// Result of an EM fit.
+struct MixtureFit {
+  GaussianComponent low;    ///< component with the smaller mean
+  GaussianComponent high;   ///< component with the larger mean
+  float log_likelihood = 0.0F;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Options for the EM fit.
+struct MixtureFitOptions {
+  std::size_t max_iterations = 200;
+  float tolerance = 1e-5F;   ///< relative log-likelihood change to stop
+  float min_stddev = 1e-3F;  ///< variance floor to avoid collapse
+};
+
+/// Fits a 2-component GMM to `samples` by EM, initialized by splitting at
+/// the median. Throws std::invalid_argument when fewer than 2 samples.
+[[nodiscard]] MixtureFit fit_two_gaussians(std::span<const float> samples,
+                                           const MixtureFitOptions& options = {});
+
+/// Normal pdf helper shared with tests.
+[[nodiscard]] float normal_pdf(float x, float mean, float stddev) noexcept;
+
+/// Bimodality separation of a fit: |mu_hi - mu_lo| / (sigma_hi + sigma_lo).
+/// Values >> 1 mean cleanly separated modes (ITH-friendly index).
+[[nodiscard]] float separation(const MixtureFit& fit) noexcept;
+
+}  // namespace mann::numeric

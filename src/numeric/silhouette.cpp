@@ -1,0 +1,68 @@
+#include "numeric/silhouette.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mann::numeric {
+namespace {
+
+/// Sorted values plus prefix sums allow O(log n) mean-|x - y| queries.
+class SortedCluster {
+ public:
+  explicit SortedCluster(std::span<const float> values)
+      : sorted_(values.begin(), values.end()) {
+    std::sort(sorted_.begin(), sorted_.end());
+    prefix_.resize(sorted_.size() + 1, 0.0);
+    for (std::size_t i = 0; i < sorted_.size(); ++i) {
+      prefix_[i + 1] = prefix_[i] + static_cast<double>(sorted_[i]);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// Sum over members y of |x - y|.
+  [[nodiscard]] double sum_abs_dist(float x) const noexcept {
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+    const auto k = static_cast<std::size_t>(it - sorted_.begin());
+    const double below = prefix_[k];
+    const double above = prefix_.back() - below;
+    const double xd = static_cast<double>(x);
+    // k members are <= x (sum: k*x - below), rest are > x (above - (n-k)*x).
+    return xd * static_cast<double>(k) - below + above -
+           xd * static_cast<double>(sorted_.size() - k);
+  }
+
+ private:
+  std::vector<float> sorted_;
+  std::vector<double> prefix_;
+};
+
+}  // namespace
+
+float average_silhouette(std::span<const float> own,
+                         std::span<const float> other) {
+  if (own.empty() || other.empty()) {
+    return 0.0F;
+  }
+  const SortedCluster own_sorted(own);
+  const SortedCluster other_sorted(other);
+  double acc = 0.0;
+  for (float x : own) {
+    // a(x): mean distance to other members of own cluster (exclude self).
+    double a = 0.0;
+    if (own_sorted.size() > 1) {
+      a = own_sorted.sum_abs_dist(x) /
+          static_cast<double>(own_sorted.size() - 1);
+    }
+    const double b = other_sorted.sum_abs_dist(x) /
+                     static_cast<double>(other_sorted.size());
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      acc += (b - a) / denom;
+    }
+  }
+  return static_cast<float>(acc / static_cast<double>(own.size()));
+}
+
+}  // namespace mann::numeric

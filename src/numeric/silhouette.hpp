@@ -1,0 +1,28 @@
+// Silhouette coefficient for 1-D two-cluster data.
+//
+// Algorithm 1, Step 3 of the paper sorts output indices by the average
+// silhouette coefficient of each index's positive-logit cluster (HG_i)
+// against its negative-logit cluster (HG_ī): indices whose logit
+// distributions separate cleanly are probed first during inference
+// thresholding. The classical definition (Rousseeuw 1987) is
+//   s(x) = (b(x) - a(x)) / max(a(x), b(x))
+// with a(x) the mean intra-cluster distance and b(x) the mean distance to
+// the other cluster. For 1-D data with |distances| = |x - y| this is
+// computed exactly in O((n+m) log(n+m)) using sorted prefix sums.
+#pragma once
+
+#include <span>
+
+namespace mann::numeric {
+
+/// Average silhouette coefficient of cluster `own` against cluster `other`
+/// (averaged over the members of `own` only, matching Algo. 1's
+/// "avg. silhouette coefficient of HG_i").
+///
+/// Returns 0 when `own` is empty or `other` is empty (no separation
+/// information), and handles singleton `own` clusters by defining a(x) = 0.
+/// Result lies in [-1, 1].
+[[nodiscard]] float average_silhouette(std::span<const float> own,
+                                       std::span<const float> other);
+
+}  // namespace mann::numeric

@@ -1,0 +1,18 @@
+#include "power/energy.hpp"
+
+namespace mann::power {
+
+NormalizedReport normalize(const EnergyReport& measurement,
+                           const EnergyReport& baseline) {
+  NormalizedReport n;
+  if (measurement.seconds > 0.0) {
+    n.speedup = baseline.seconds / measurement.seconds;
+  }
+  const double base_eff = baseline.flops_per_kj();
+  if (base_eff > 0.0) {
+    n.energy_efficiency = measurement.flops_per_kj() / base_eff;
+  }
+  return n;
+}
+
+}  // namespace mann::power

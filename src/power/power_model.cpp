@@ -1,0 +1,53 @@
+#include "power/power_model.hpp"
+
+namespace mann::power {
+
+FpgaPowerModel::FpgaPowerModel(const FpgaPowerConfig& config)
+    : config_(config) {}
+
+double FpgaPowerModel::op_energy(const sim::OpCounts& ops) const noexcept {
+  return static_cast<double>(ops.mac) * config_.mac_j +
+         static_cast<double>(ops.add) * config_.add_j +
+         static_cast<double>(ops.exp) * config_.exp_j +
+         static_cast<double>(ops.div) * config_.div_j +
+         static_cast<double>(ops.mem_read) * config_.mem_read_j +
+         static_cast<double>(ops.mem_write) * config_.mem_write_j +
+         static_cast<double>(ops.compare) * config_.compare_j;
+}
+
+std::vector<ModulePowerRow> FpgaPowerModel::per_module(
+    const accel::RunResult& run) const {
+  std::vector<ModulePowerRow> rows;
+  rows.reserve(run.modules.size());
+  for (const accel::ModuleReport& m : run.modules) {
+    ModulePowerRow row;
+    row.name = m.name;
+    if (run.total_cycles > 0) {
+      row.busy_fraction = static_cast<double>(m.stats.busy_cycles) /
+                          static_cast<double>(run.total_cycles);
+    }
+    row.dynamic_joules = op_energy(m.stats.ops);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+FpgaPowerReport FpgaPowerModel::estimate(const accel::RunResult& run,
+                                         double clock_hz) const {
+  FpgaPowerReport report;
+  report.seconds = static_cast<double>(run.total_cycles) / clock_hz;
+  report.dynamic_joules = op_energy(run.total_ops);
+  report.clock_joules =
+      config_.clock_watts_per_hz * clock_hz * report.seconds;
+  report.static_joules = config_.static_watts * report.seconds;
+  report.link_joules =
+      config_.link_active_watts *
+      (static_cast<double>(run.link_active_cycles) / clock_hz);
+  report.total_joules = report.dynamic_joules + report.clock_joules +
+                        report.static_joules + report.link_joules;
+  report.mean_watts =
+      report.seconds > 0.0 ? report.total_joules / report.seconds : 0.0;
+  return report;
+}
+
+}  // namespace mann::power

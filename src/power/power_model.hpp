@@ -1,0 +1,89 @@
+// Power models.
+//
+// Substitution note (DESIGN.md): the paper measures board/system power with
+// external meters; we have no hardware, so power comes from activity-based
+// models. The FPGA model is the standard static + clock-tree + per-op
+// dynamic-energy decomposition; its constants are calibrated so the four
+// published operating points (14.71 W @25 MHz ... 20.10 W @100 MHz) are
+// reproduced to first order, and *everything else* (the effect of ITH, the
+// per-task variation, the energy-efficiency ratios) then follows from the
+// simulator's measured cycle and op counts. CPU/GPU models are fixed active
+// -power envelopes at the paper's measured draws.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "sim/types.hpp"
+
+namespace mann::power {
+
+/// Static + clock-tree + per-op-energy FPGA power model.
+struct FpgaPowerConfig {
+  double static_watts = 12.8;        ///< leakage + board overhead
+  double clock_watts_per_hz = 6.6e-8;///< clock tree + idle toggling, ~6.6 W @100 MHz
+  // Per-operation dynamic energy (joules). Rough 16-bit-datapath numbers
+  // on a 20 nm device; they matter relatively (ITH removes OUTPUT ops),
+  // not absolutely.
+  double mac_j = 6.0e-12;
+  double add_j = 1.5e-12;
+  double exp_j = 8.0e-12;
+  double div_j = 2.0e-11;
+  double mem_read_j = 4.0e-12;
+  double mem_write_j = 5.0e-12;
+  double compare_j = 1.0e-12;
+  /// Host-link PHY/DMA engine draw while the link is active.
+  double link_active_watts = 0.9;
+};
+
+/// Power/energy estimate of one accelerator run.
+struct FpgaPowerReport {
+  double seconds = 0.0;
+  double dynamic_joules = 0.0;  ///< datapath ops
+  double clock_joules = 0.0;    ///< clock tree over the whole run
+  double static_joules = 0.0;
+  double link_joules = 0.0;
+  double total_joules = 0.0;
+  double mean_watts = 0.0;
+};
+
+/// Per-module slice of the dynamic energy (for the deployment report in
+/// examples/accelerator_sim and the module-balance analysis).
+struct ModulePowerRow {
+  std::string name;
+  double busy_fraction = 0.0;   ///< busy cycles / total cycles
+  double dynamic_joules = 0.0;  ///< op energy attributed to this module
+};
+
+class FpgaPowerModel {
+ public:
+  explicit FpgaPowerModel(const FpgaPowerConfig& config = {});
+
+  /// Folds a run's activity counters into energy/power at `clock_hz`.
+  [[nodiscard]] FpgaPowerReport estimate(const accel::RunResult& run,
+                                         double clock_hz) const;
+
+  /// Splits the dynamic energy across modules using their op counters.
+  [[nodiscard]] std::vector<ModulePowerRow> per_module(
+      const accel::RunResult& run) const;
+
+  [[nodiscard]] const FpgaPowerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Energy of the datapath op counters alone (used by tests/ablations).
+  [[nodiscard]] double op_energy(const sim::OpCounts& ops) const noexcept;
+
+ private:
+  FpgaPowerConfig config_;
+};
+
+/// Fixed active-power envelope for the CPU/GPU baselines (the paper's
+/// measured averages: 23.28 W CPU, 45.36 W GPU).
+struct HostPowerConfig {
+  double cpu_active_watts = 23.28;
+  double gpu_active_watts = 45.36;
+};
+
+}  // namespace mann::power

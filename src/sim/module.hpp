@@ -1,0 +1,42 @@
+// Module base class for the cycle-level dataflow simulation.
+//
+// Modules are ticked once per clock cycle in a fixed order by the
+// Simulator. A module models its internal pipelines with cycle counters:
+// when it starts a multi-cycle operation it performs the arithmetic
+// immediately (transaction semantics) and then stays busy for the
+// operation's latency, which preserves cycle-accurate timing at the module
+// boundary without simulating every register.
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace mann::sim {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Advances one clock cycle.
+  virtual void tick() = 0;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const ModuleStats& stats() const noexcept { return stats_; }
+
+ protected:
+  /// Accounting helpers for subclasses.
+  void mark_busy() noexcept { ++stats_.busy_cycles; }
+  void mark_stalled() noexcept { ++stats_.stall_cycles; }
+  OpCounts& ops() noexcept { return stats_.ops; }
+
+ private:
+  std::string name_;
+  ModuleStats stats_;
+};
+
+}  // namespace mann::sim

@@ -1,0 +1,25 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace mann::sim {
+
+void Simulator::add_module(Module& module) { modules_.push_back(&module); }
+
+Cycle Simulator::run_until(const std::function<bool()>& done,
+                           Cycle max_cycles) {
+  const Cycle start = now_;
+  while (!done()) {
+    if (now_ - start >= max_cycles) {
+      throw std::runtime_error(
+          "Simulator: watchdog expired — dataflow deadlock or runaway");
+    }
+    for (Module* m : modules_) {
+      m->tick();
+    }
+    ++now_;
+  }
+  return now_ - start;
+}
+
+}  // namespace mann::sim

@@ -1,0 +1,37 @@
+// The clock: ticks registered modules in order until a completion
+// predicate fires (or a watchdog limit trips, which is always a bug).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "sim/types.hpp"
+
+namespace mann::sim {
+
+class Simulator {
+ public:
+  /// Registers a module. Tick order == registration order; pick an order
+  /// consistent with the dataflow direction (producers before consumers
+  /// gives same-cycle forwarding through FIFOs, like combinational
+  /// FIFO bypass).
+  void add_module(Module& module);
+
+  /// Runs until `done()` returns true. Returns cycles elapsed in this call.
+  /// Throws std::runtime_error when `max_cycles` elapses first.
+  Cycle run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  /// Total cycles ticked since construction.
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+  [[nodiscard]] const std::vector<Module*>& modules() const noexcept {
+    return modules_;
+  }
+
+ private:
+  std::vector<Module*> modules_;
+  Cycle now_ = 0;
+};
+
+}  // namespace mann::sim

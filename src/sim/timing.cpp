@@ -1,0 +1,11 @@
+// timing.hpp is header-only today; this TU pins the library's symbols and
+// keeps a compile check on the header in isolation.
+#include "sim/timing.hpp"
+
+namespace mann::sim {
+
+static_assert(ceil_div(9, 8) == 2);
+static_assert(ceil_log2(8) == 3);
+static_assert(ceil_log2(1) == 0);
+
+}  // namespace mann::sim

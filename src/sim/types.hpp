@@ -1,0 +1,57 @@
+// Basic time/activity types for the cycle-level dataflow simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace mann::sim {
+
+/// Clock cycle count. All module timing is expressed in cycles; wall time
+/// is cycles / clock_hz at the very end (so one simulation serves every
+/// operating frequency of the host link sweep — except the link itself,
+/// whose words-per-cycle rate depends on frequency).
+using Cycle = std::uint64_t;
+
+/// Datapath operation counts accumulated by a module. The power model
+/// multiplies these by per-op energy coefficients, so the categories match
+/// the distinct physical units of the design (DSP MACs, LUT adds, the exp
+/// LUT, the divider, BRAM ports, comparators).
+struct OpCounts {
+  std::uint64_t mac = 0;        ///< multiply-accumulate (DSP)
+  std::uint64_t add = 0;        ///< plain adds (embedding accumulate, h=r+..)
+  std::uint64_t exp = 0;        ///< exp-LUT evaluations
+  std::uint64_t div = 0;        ///< divider operations
+  std::uint64_t mem_read = 0;   ///< BRAM reads (one word each)
+  std::uint64_t mem_write = 0;  ///< BRAM writes
+  std::uint64_t compare = 0;    ///< comparator operations (max / threshold)
+
+  OpCounts& operator+=(const OpCounts& o) noexcept {
+    mac += o.mac;
+    add += o.add;
+    exp += o.exp;
+    div += o.div;
+    mem_read += o.mem_read;
+    mem_write += o.mem_write;
+    compare += o.compare;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return mac + add + exp + div + mem_read + mem_write + compare;
+  }
+};
+
+/// Busy/stall accounting per module.
+struct ModuleStats {
+  Cycle busy_cycles = 0;   ///< cycles doing useful work
+  Cycle stall_cycles = 0;  ///< cycles blocked on a full/empty FIFO
+  OpCounts ops;
+
+  ModuleStats& operator+=(const ModuleStats& o) noexcept {
+    busy_cycles += o.busy_cycles;
+    stall_cycles += o.stall_cycles;
+    ops += o.ops;
+    return *this;
+  }
+};
+
+}  // namespace mann::sim

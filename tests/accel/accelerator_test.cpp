@@ -1,0 +1,242 @@
+#include "accel/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accel/stream.hpp"
+#include "core/ith.hpp"
+#include "data/dataset.hpp"
+#include "model/trainer.hpp"
+
+namespace mann::accel {
+namespace {
+
+/// One trained model + dataset + compiled programs, shared by the suite
+/// (training once keeps the test binary fast).
+class AcceleratorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetConfig dc;
+    dc.train_stories = 300;
+    dc.test_stories = 60;
+    dc.seed = 99;
+    dataset_ = new data::TaskDataset(
+        data::build_task_dataset(data::TaskId::kSingleSupportingFact, dc));
+
+    model::ModelConfig mc;
+    mc.vocab_size = dataset_->vocab_size();
+    mc.embedding_dim = 16;
+    mc.hops = 3;
+    numeric::Rng rng(12);
+    model_ = new model::MemN2N(mc, rng);
+    model::TrainConfig tc;
+    tc.epochs = 12;
+    model::train(*model_, dataset_->train, tc);
+
+    ith_ = new core::InferenceThresholding(
+        core::InferenceThresholding::calibrate(*model_, dataset_->train,
+                                               {}));
+  }
+
+  static void TearDownTestSuite() {
+    delete ith_;
+    delete model_;
+    delete dataset_;
+    ith_ = nullptr;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static AccelConfig base_config(double clock_hz = 100.0e6) {
+    AccelConfig cfg;
+    cfg.clock_hz = clock_hz;
+    return cfg;
+  }
+
+  static std::span<const data::EncodedStory> test_slice(std::size_t n) {
+    return {dataset_->test.data(), std::min(n, dataset_->test.size())};
+  }
+
+  static data::TaskDataset* dataset_;
+  static model::MemN2N* model_;
+  static core::InferenceThresholding* ith_;
+};
+
+data::TaskDataset* AcceleratorFixture::dataset_ = nullptr;
+model::MemN2N* AcceleratorFixture::model_ = nullptr;
+core::InferenceThresholding* AcceleratorFixture::ith_ = nullptr;
+
+TEST_F(AcceleratorFixture, PredictionsMatchFloatReference) {
+  const Accelerator device(base_config(), compile_model(*model_));
+  const RunResult run = device.run(test_slice(40));
+  ASSERT_EQ(run.stories.size(), 40U);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < run.stories.size(); ++i) {
+    const auto ref = model_->predict(dataset_->test[i]);
+    if (run.stories[i].prediction == static_cast<std::int32_t>(ref)) {
+      ++agree;
+    }
+  }
+  // Q16.16 quantization may flip rare near-ties; demand >= 95% agreement.
+  EXPECT_GE(agree, 38U);
+}
+
+TEST_F(AcceleratorFixture, WithoutIthEveryClassIsProbed) {
+  const Accelerator device(base_config(), compile_model(*model_));
+  const RunResult run = device.run(test_slice(10));
+  for (const StoryOutcome& s : run.stories) {
+    EXPECT_EQ(s.output_probes, dataset_->vocab_size());
+    EXPECT_FALSE(s.early_exit);
+  }
+}
+
+TEST_F(AcceleratorFixture, IthReducesProbes) {
+  AccelConfig cfg = base_config();
+  cfg.ith_enabled = true;
+  const Accelerator device(cfg, compile_model(*model_, ith_));
+  const RunResult run = device.run(test_slice(40));
+  EXPECT_LT(run.mean_output_probes(),
+            static_cast<double>(dataset_->vocab_size()));
+  EXPECT_GT(run.early_exit_rate(), 0.0);
+}
+
+TEST_F(AcceleratorFixture, IthAgreesWithSoftwareIth) {
+  AccelConfig cfg = base_config();
+  cfg.ith_enabled = true;
+  const Accelerator device(cfg, compile_model(*model_, ith_));
+  const RunResult run = device.run(test_slice(30));
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < run.stories.size(); ++i) {
+    const auto sw = ith_->predict(*model_, dataset_->test[i]);
+    if (run.stories[i].prediction ==
+        static_cast<std::int32_t>(sw.prediction)) {
+      ++agree;
+    }
+  }
+  EXPECT_GE(agree, 28U);  // fixed-point tolerance
+}
+
+TEST_F(AcceleratorFixture, IthEnabledWithoutTablesThrows) {
+  AccelConfig cfg = base_config();
+  cfg.ith_enabled = true;
+  EXPECT_THROW(Accelerator(cfg, compile_model(*model_)),
+               std::invalid_argument);
+}
+
+TEST_F(AcceleratorFixture, HigherClockFewerSecondsButSublinear) {
+  const DeviceProgram prog = compile_model(*model_);
+  const Accelerator slow(base_config(25.0e6), prog);
+  const Accelerator fast(base_config(100.0e6), prog);
+  const auto r_slow = slow.run(test_slice(30));
+  const auto r_fast = fast.run(test_slice(30));
+  EXPECT_LT(r_fast.seconds, r_slow.seconds);
+  // 4x clock must give < 4x speedup: the host link does not scale...
+  EXPECT_LT(r_slow.seconds / r_fast.seconds, 3.9);
+  EXPECT_GT(r_slow.seconds / r_fast.seconds, 1.02);
+  // ...which shows up as *more* cycles burned at the higher clock (the
+  // clock-independent I/O term occupies more fabric cycles).
+  EXPECT_GT(r_fast.total_cycles, r_slow.total_cycles);
+}
+
+TEST_F(AcceleratorFixture, IthSavesComputeCyclesAtFixedClock) {
+  // Compare pure compute by making the link effectively infinite: the
+  // remaining cycles are datapath work, which ITH must reduce.
+  AccelConfig cfg = base_config(25.0e6);
+  cfg.link.words_per_second = 1.0e12;
+  cfg.link.per_story_latency = 0.0;
+  cfg.link.result_latency = 0.0;
+  const Accelerator plain(cfg, compile_model(*model_));
+  cfg.ith_enabled = true;
+  const Accelerator with_ith(cfg, compile_model(*model_, ith_));
+  const auto r_plain = plain.run(test_slice(40));
+  const auto r_ith = with_ith.run(test_slice(40));
+  EXPECT_LT(r_ith.total_cycles, r_plain.total_cycles);
+  // The saving comes from the OUTPUT module doing fewer probes.
+  EXPECT_LT(r_ith.mean_output_probes(), r_plain.mean_output_probes());
+}
+
+TEST_F(AcceleratorFixture, ModuleStatsAreConsistent) {
+  const Accelerator device(base_config(), compile_model(*model_));
+  const RunResult run = device.run(test_slice(20));
+  ASSERT_EQ(run.modules.size(), 6U);
+  // Every module except possibly CONTROL ticked busy at least once.
+  for (const ModuleReport& m : run.modules) {
+    EXPECT_GT(m.stats.busy_cycles, 0U) << m.name;
+    EXPECT_LE(m.stats.busy_cycles + m.stats.stall_cycles, run.total_cycles)
+        << m.name;
+  }
+  // The datapath did real arithmetic.
+  EXPECT_GT(run.total_ops.mac, 0U);
+  EXPECT_GT(run.total_ops.exp, 0U);
+  EXPECT_GT(run.total_ops.div, 0U);
+  EXPECT_GT(run.total_ops.compare, 0U);
+}
+
+TEST_F(AcceleratorFixture, FifoStatsShowTraffic) {
+  const Accelerator device(base_config(), compile_model(*model_));
+  const RunResult run = device.run(test_slice(10));
+  EXPECT_GT(run.fifo_in_stats.pushes, 0U);
+  EXPECT_EQ(run.fifo_in_stats.pushes, run.fifo_in_stats.pops);
+  EXPECT_EQ(run.fifo_out_stats.pushes, 10U);
+  EXPECT_EQ(run.fifo_out_stats.pops, 10U);
+}
+
+TEST_F(AcceleratorFixture, StreamWordsAccountedOnce) {
+  const DeviceProgram prog = compile_model(*model_);
+  const Accelerator device(base_config(), prog);
+  const RunResult run = device.run(test_slice(5));
+  std::size_t expected = prog.model_words();
+  for (std::size_t i = 0; i < 5; ++i) {
+    expected += encode_story(dataset_->test[i]).size();
+  }
+  EXPECT_EQ(run.stream_words, expected);
+  EXPECT_EQ(run.fifo_in_stats.pushes, expected);
+}
+
+TEST_F(AcceleratorFixture, FinishCyclesAreMonotone) {
+  const Accelerator device(base_config(), compile_model(*model_));
+  const RunResult run = device.run(test_slice(8));
+  for (std::size_t i = 1; i < run.stories.size(); ++i) {
+    EXPECT_GT(run.stories[i].finish_cycle, run.stories[i - 1].finish_cycle);
+  }
+}
+
+TEST_F(AcceleratorFixture, DeterministicAcrossRuns) {
+  const Accelerator device(base_config(), compile_model(*model_));
+  const RunResult a = device.run(test_slice(10));
+  const RunResult b = device.run(test_slice(10));
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.stories[i].prediction, b.stories[i].prediction);
+  }
+}
+
+TEST_F(AcceleratorFixture, EmptyWorkloadCompletesAfterModelLoad) {
+  const Accelerator device(base_config(), compile_model(*model_));
+  const RunResult run = device.run({});
+  EXPECT_TRUE(run.stories.empty());
+  EXPECT_EQ(run.total_cycles, 0U);  // done predicate true immediately
+}
+
+TEST_F(AcceleratorFixture, NarrowLanesCostMoreCycles) {
+  AccelConfig narrow = base_config();
+  narrow.timing.lane_width = 2;
+  AccelConfig wide = base_config();
+  wide.timing.lane_width = 16;
+  // Compare pure compute by making the link very fast.
+  narrow.link.words_per_second = 1.0e12;
+  wide.link.words_per_second = 1.0e12;
+  const DeviceProgram prog = compile_model(*model_);
+  const auto n = Accelerator(narrow, prog).run(test_slice(10));
+  const auto w = Accelerator(wide, prog).run(test_slice(10));
+  EXPECT_GT(n.total_cycles, w.total_cycles);
+}
+
+TEST_F(AcceleratorFixture, RejectsNonPositiveClock) {
+  AccelConfig cfg = base_config();
+  cfg.clock_hz = 0.0;
+  EXPECT_THROW(Accelerator(cfg, compile_model(*model_)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mann::accel

@@ -1,0 +1,99 @@
+#include "accel/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "model/trainer.hpp"
+
+namespace mann::accel {
+namespace {
+
+model::MemN2N make_model() {
+  model::ModelConfig c;
+  c.vocab_size = 11;
+  c.embedding_dim = 6;
+  c.hops = 2;
+  c.max_memory = 8;
+  numeric::Rng rng(4);
+  return model::MemN2N(c, rng);
+}
+
+TEST(Compiler, CopiesDimensions) {
+  const auto model = make_model();
+  const DeviceProgram prog = compile_model(model);
+  EXPECT_EQ(prog.vocab_size, 11U);
+  EXPECT_EQ(prog.embedding_dim, 6U);
+  EXPECT_EQ(prog.hops, 2U);
+  EXPECT_EQ(prog.max_memory, 8U);
+  EXPECT_EQ(prog.emb_a.rows(), 11U);
+  EXPECT_EQ(prog.emb_a.cols(), 6U);
+  EXPECT_EQ(prog.w_r.rows(), 6U);
+  EXPECT_EQ(prog.w_o.rows(), 11U);
+}
+
+TEST(Compiler, NoIthTablesWithoutCalibration) {
+  const DeviceProgram prog = compile_model(make_model());
+  EXPECT_FALSE(prog.has_ith_tables());
+  EXPECT_TRUE(prog.thresholds.empty());
+  EXPECT_TRUE(prog.probe_order.empty());
+}
+
+TEST(Compiler, ModelWordsCountsAllWeights) {
+  const DeviceProgram prog = compile_model(make_model());
+  const std::size_t expected = 3U * 11U * 6U + 6U * 6U + 11U * 6U;
+  EXPECT_EQ(prog.model_words(), expected);
+}
+
+TEST(Compiler, QuantizationWithinLsb) {
+  const auto model = make_model();
+  const DeviceProgram prog = compile_model(model);
+  const float lsb = 1.0F / 65536.0F;
+  for (std::size_t r = 0; r < 11; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(prog.w_o(r, c).to_float(), model.params().w_o(r, c),
+                  0.5F * lsb + 1e-7F);
+    }
+  }
+}
+
+TEST(Compiler, IthTablesIncluded) {
+  // Build a real calibration on a tiny trained model.
+  data::DatasetConfig dc;
+  dc.train_stories = 120;
+  dc.test_stories = 20;
+  const auto ds =
+      data::build_task_dataset(data::TaskId::kSingleSupportingFact, dc);
+  model::ModelConfig mc;
+  mc.vocab_size = ds.vocab_size();
+  mc.embedding_dim = 12;
+  mc.hops = 2;
+  numeric::Rng rng(8);
+  model::MemN2N net(mc, rng);
+  model::TrainConfig tc;
+  tc.epochs = 8;
+  model::train(net, ds.train, tc);
+  const auto ith =
+      core::InferenceThresholding::calibrate(net, ds.train, {});
+
+  const DeviceProgram prog = compile_model(net, &ith);
+  ASSERT_TRUE(prog.has_ith_tables());
+  ASSERT_EQ(prog.thresholds.size(), mc.vocab_size);
+  ASSERT_EQ(prog.probe_order.size(), mc.vocab_size);
+  // Infinite thresholds become the saturated fx max.
+  for (std::size_t i = 0; i < mc.vocab_size; ++i) {
+    if (ith.thresholds()[i] == core::InferenceThresholding::kNoThreshold) {
+      EXPECT_EQ(prog.thresholds[i], Fx::max());
+    } else {
+      EXPECT_NEAR(prog.thresholds[i].to_float(), ith.thresholds()[i],
+                  1e-3F);
+    }
+    EXPECT_EQ(prog.probe_order[i],
+              static_cast<std::int32_t>(ith.probe_order()[i]));
+  }
+  // ITH tables add to the wire size.
+  EXPECT_EQ(prog.model_words(),
+            compile_model(net).model_words() + 2U * mc.vocab_size);
+}
+
+}  // namespace
+}  // namespace mann::accel

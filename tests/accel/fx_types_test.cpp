@@ -1,0 +1,87 @@
+#include "accel/fx_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numeric/random.hpp"
+#include "numeric/vector_ops.hpp"
+
+namespace mann::accel {
+namespace {
+
+TEST(FxMatrix, ShapeAndAccess) {
+  FxMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  EXPECT_EQ(m.size(), 6U);
+  m(1, 2) = Fx::from_float(1.5F);
+  EXPECT_FLOAT_EQ(m(1, 2).to_float(), 1.5F);
+}
+
+TEST(FxMatrix, RowSpanAliases) {
+  FxMatrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = Fx::from_float(-2.0F);
+  EXPECT_FLOAT_EQ(m(1, 0).to_float(), -2.0F);
+}
+
+TEST(Quantize, RoundTripWithinLsb) {
+  numeric::Rng rng(3);
+  numeric::Matrix m(4, 5);
+  for (float& v : m.data()) {
+    v = rng.uniform(-2.0F, 2.0F);
+  }
+  const FxMatrix q = quantize(m);
+  const numeric::Matrix back = dequantize(q);
+  const float lsb = 1.0F / 65536.0F;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_NEAR(back(r, c), m(r, c), 0.5F * lsb + 1e-7F);
+    }
+  }
+}
+
+TEST(FxDot, MatchesFloatReference) {
+  numeric::Rng rng(7);
+  std::vector<float> fa(24);
+  std::vector<float> fb(24);
+  FxVector a(24);
+  FxVector b(24);
+  for (std::size_t i = 0; i < 24; ++i) {
+    fa[i] = rng.uniform(-1.0F, 1.0F);
+    fb[i] = rng.uniform(-1.0F, 1.0F);
+    a[i] = Fx::from_float(fa[i]);
+    b[i] = Fx::from_float(fb[i]);
+  }
+  const float ref = numeric::dot(fa, fb);
+  EXPECT_NEAR(fx_dot(a, b).to_float(), ref, 24.0F * 3.0F / 65536.0F);
+}
+
+TEST(FxDot, LengthMismatchThrows) {
+  FxVector a(3);
+  FxVector b(2);
+  EXPECT_THROW((void)fx_dot(a, b), std::invalid_argument);
+}
+
+TEST(FxAxpyAndAdd, Basics) {
+  FxVector x = {Fx::from_float(1.0F), Fx::from_float(2.0F)};
+  FxVector y = {Fx::from_float(10.0F), Fx::from_float(20.0F)};
+  fx_axpy(Fx::from_float(0.5F), x, y);
+  EXPECT_FLOAT_EQ(y[0].to_float(), 10.5F);
+  EXPECT_FLOAT_EQ(y[1].to_float(), 21.0F);
+  fx_add(x, y);
+  EXPECT_FLOAT_EQ(y[0].to_float(), 11.5F);
+  fx_clear(y);
+  EXPECT_EQ(y[0], Fx{});
+}
+
+TEST(FxAxpy, MismatchThrows) {
+  FxVector x(3);
+  FxVector y(2);
+  EXPECT_THROW(fx_axpy(Fx::from_float(1.0F), x, y), std::invalid_argument);
+  EXPECT_THROW(fx_add(x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mann::accel

@@ -1,0 +1,158 @@
+// Property tests: configuration knobs that only affect *timing* (lane
+// width, FIFO depth, link rate, synchronous vs pipelined host) must never
+// change what the accelerator computes; and the device must track the
+// float model across structurally different task families.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "accel/accelerator.hpp"
+#include "data/dataset.hpp"
+#include "model/trainer.hpp"
+
+namespace mann::accel {
+namespace {
+
+/// One shared lightly-trained model (enough structure for nontrivial
+/// attention, fast to build).
+struct Shared {
+  data::TaskDataset dataset;
+  model::MemN2N model;
+  DeviceProgram program;
+};
+
+const Shared& shared() {
+  static const Shared s = [] {
+    data::DatasetConfig dc;
+    dc.train_stories = 150;
+    dc.test_stories = 40;
+    dc.seed = 55;
+    data::TaskDataset ds =
+        data::build_task_dataset(data::TaskId::kTwoSupportingFacts, dc);
+    model::ModelConfig mc;
+    mc.vocab_size = ds.vocab_size();
+    mc.embedding_dim = 16;
+    mc.hops = 2;
+    numeric::Rng rng(5);
+    model::MemN2N net(mc, rng);
+    model::TrainConfig tc;
+    tc.epochs = 6;
+    model::train(net, ds.train, tc);
+    DeviceProgram prog = compile_model(net);
+    return Shared{std::move(ds), std::move(net), std::move(prog)};
+  }();
+  return s;
+}
+
+std::vector<std::int32_t> run_predictions(const AccelConfig& cfg) {
+  const Accelerator device(cfg, shared().program);
+  const RunResult run = device.run(shared().dataset.test);
+  std::vector<std::int32_t> preds;
+  preds.reserve(run.stories.size());
+  for (const StoryOutcome& s : run.stories) {
+    preds.push_back(s.prediction);
+  }
+  return preds;
+}
+
+// ---- timing-knob invariance --------------------------------------------------
+
+class TimingInvariance
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(TimingInvariance, PredictionsIndependentOfLaneAndFifo) {
+  AccelConfig reference;
+  const auto baseline = run_predictions(reference);
+
+  AccelConfig cfg;
+  cfg.timing.lane_width = std::get<0>(GetParam());
+  cfg.fifo_depth = std::get<1>(GetParam());
+  EXPECT_EQ(run_predictions(cfg), baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LaneFifo, TimingInvariance,
+    ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{8},
+                                         std::size_t{32}),
+                       ::testing::Values(std::size_t{2}, std::size_t{16},
+                                         std::size_t{64})),
+    [](const auto& param_info) {
+      return "lane" + std::to_string(std::get<0>(param_info.param)) +
+             "_fifo" + std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(TimingInvarianceExtra, LinkRateAndSyncModeDoNotChangeResults) {
+  AccelConfig reference;
+  const auto baseline = run_predictions(reference);
+
+  AccelConfig slow;
+  slow.link.words_per_second = 2.0e5;
+  EXPECT_EQ(run_predictions(slow), baseline);
+
+  AccelConfig pipelined;
+  pipelined.link.synchronous_stories = false;
+  EXPECT_EQ(run_predictions(pipelined), baseline);
+
+  AccelConfig fast_clock;
+  fast_clock.clock_hz = 300.0e6;
+  EXPECT_EQ(run_predictions(fast_clock), baseline);
+}
+
+TEST(TimingInvarianceExtra, PipelinedHostIsNeverSlowerInWallTime) {
+  AccelConfig sync;
+  AccelConfig async = sync;
+  async.link.synchronous_stories = false;
+  const Accelerator a(sync, shared().program);
+  const Accelerator b(async, shared().program);
+  const double t_sync = a.run(shared().dataset.test).seconds;
+  const double t_async = b.run(shared().dataset.test).seconds;
+  EXPECT_LE(t_async, t_sync + 1e-9);
+}
+
+// ---- device-vs-float agreement across task families ---------------------------
+
+class TaskAgreement : public ::testing::TestWithParam<data::TaskId> {};
+
+TEST_P(TaskAgreement, DeviceTracksFloatModel) {
+  data::DatasetConfig dc;
+  dc.train_stories = 120;
+  dc.test_stories = 30;
+  dc.seed = 91;
+  const data::TaskDataset ds = data::build_task_dataset(GetParam(), dc);
+  model::ModelConfig mc;
+  mc.vocab_size = ds.vocab_size();
+  mc.embedding_dim = 16;
+  mc.hops = 2;
+  numeric::Rng rng(6);
+  model::MemN2N net(mc, rng);
+  model::TrainConfig tc;
+  tc.epochs = 5;
+  model::train(net, ds.train, tc);
+
+  const Accelerator device(AccelConfig{}, compile_model(net));
+  const RunResult run = device.run(ds.test);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < ds.test.size(); ++i) {
+    if (run.stories[i].prediction ==
+        static_cast<std::int32_t>(net.predict(ds.test[i]))) {
+      ++agree;
+    }
+  }
+  // Q16.16 vs float: rare near-tie flips only.
+  EXPECT_GE(agree, ds.test.size() - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiveFamilies, TaskAgreement,
+    ::testing::Values(data::TaskId::kSingleSupportingFact,
+                      data::TaskId::kYesNoQuestions,
+                      data::TaskId::kCounting,
+                      data::TaskId::kBasicDeduction,
+                      data::TaskId::kPathFinding),
+    [](const ::testing::TestParamInfo<data::TaskId>& param_info) {
+      return "qa" + std::to_string(data::task_number(param_info.param));
+    });
+
+}  // namespace
+}  // namespace mann::accel

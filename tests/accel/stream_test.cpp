@@ -1,0 +1,49 @@
+#include "accel/stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mann::accel {
+namespace {
+
+data::EncodedStory story() {
+  data::EncodedStory s;
+  s.context = {{1, 2}, {3}};
+  s.question = {4, 5};
+  s.answer = 6;
+  return s;
+}
+
+TEST(Stream, EncodeStoryStructure) {
+  const auto words = encode_story(story());
+  // start, (sent,1,2), (sent,3), qstart, 4, 5, end = 10 words.
+  ASSERT_EQ(words.size(), 10U);
+  EXPECT_EQ(words[0].op, StreamOp::kStoryStart);
+  EXPECT_EQ(words[1].op, StreamOp::kSentenceStart);
+  EXPECT_EQ(words[2], (StreamWord{StreamOp::kContextWord, 1}));
+  EXPECT_EQ(words[3], (StreamWord{StreamOp::kContextWord, 2}));
+  EXPECT_EQ(words[4].op, StreamOp::kSentenceStart);
+  EXPECT_EQ(words[5], (StreamWord{StreamOp::kContextWord, 3}));
+  EXPECT_EQ(words[6].op, StreamOp::kQuestionStart);
+  EXPECT_EQ(words[7], (StreamWord{StreamOp::kQuestionWord, 4}));
+  EXPECT_EQ(words[8], (StreamWord{StreamOp::kQuestionWord, 5}));
+  EXPECT_EQ(words[9].op, StreamOp::kEndOfStory);
+}
+
+TEST(Stream, EncodeWorkloadPrependsModelWords) {
+  const std::vector<data::EncodedStory> stories = {story(), story()};
+  const auto words = encode_workload(7, stories);
+  ASSERT_EQ(words.size(), 7U + 2U * 10U);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(words[i].op, StreamOp::kModelWord);
+  }
+  EXPECT_EQ(words[7].op, StreamOp::kStoryStart);
+  EXPECT_EQ(words[17].op, StreamOp::kStoryStart);
+}
+
+TEST(Stream, EmptyWorkload) {
+  const auto words = encode_workload(0, {});
+  EXPECT_TRUE(words.empty());
+}
+
+}  // namespace
+}  // namespace mann::accel

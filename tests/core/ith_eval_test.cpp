@@ -1,0 +1,96 @@
+#include "core/ith_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "model/trainer.hpp"
+
+namespace mann::core {
+namespace {
+
+struct Prepared {
+  data::TaskDataset dataset;
+  model::MemN2N model;
+};
+
+Prepared prepare() {
+  data::DatasetConfig dc;
+  dc.train_stories = 250;
+  dc.test_stories = 80;
+  dc.seed = 21;
+  data::TaskDataset ds =
+      data::build_task_dataset(data::TaskId::kSingleSupportingFact, dc);
+  model::ModelConfig mc;
+  mc.vocab_size = ds.vocab_size();
+  mc.embedding_dim = 16;
+  mc.hops = 3;
+  numeric::Rng rng(9);
+  model::MemN2N net(mc, rng);
+  model::TrainConfig tc;
+  tc.epochs = 12;
+  model::train(net, ds.train, tc);
+  return {std::move(ds), std::move(net)};
+}
+
+TEST(IthEval, FullMipsBaselineShape) {
+  const Prepared p = prepare();
+  const IthEvaluation ev = evaluate_full_mips(p.model, p.dataset.test);
+  EXPECT_EQ(ev.stories, p.dataset.test.size());
+  EXPECT_FLOAT_EQ(ev.normalized_comparisons, 1.0F);
+  EXPECT_FLOAT_EQ(ev.mean_comparisons,
+                  static_cast<float>(p.model.config().vocab_size));
+  EXPECT_EQ(ev.early_exit_rate, 0.0F);
+  EXPECT_GT(ev.accuracy, 0.5F);
+}
+
+TEST(IthEval, IthReducesComparisonsAtMatchedAccuracy) {
+  const Prepared p = prepare();
+  const auto ith =
+      InferenceThresholding::calibrate(p.model, p.dataset.train, {});
+  const IthEvaluation base = evaluate_full_mips(p.model, p.dataset.test);
+  const IthEvaluation ev = evaluate_ith(p.model, ith, p.dataset.test);
+  EXPECT_LE(ev.normalized_comparisons, 1.0F);
+  EXPECT_LT(ev.mean_comparisons, base.mean_comparisons);
+  EXPECT_NEAR(ev.accuracy, base.accuracy, 0.02F);
+}
+
+TEST(IthEval, OrderingBeatsNaturalOrder) {
+  const Prepared p = prepare();
+  const auto ith =
+      InferenceThresholding::calibrate(p.model, p.dataset.train, {});
+  const IthEvaluation ordered =
+      evaluate_ith(p.model, ith, p.dataset.test, true);
+  const IthEvaluation natural =
+      evaluate_ith(p.model, ith, p.dataset.test, false);
+  EXPECT_LE(ordered.mean_comparisons, natural.mean_comparisons);
+}
+
+TEST(IthEval, EmptyTestSetYieldsZeros) {
+  const Prepared p = prepare();
+  const auto ith =
+      InferenceThresholding::calibrate(p.model, p.dataset.train, {});
+  const IthEvaluation ev = evaluate_ith(p.model, ith, {});
+  EXPECT_EQ(ev.stories, 0U);
+  EXPECT_EQ(ev.accuracy, 0.0F);
+  const IthEvaluation base = evaluate_full_mips(p.model, {});
+  EXPECT_EQ(base.stories, 0U);
+}
+
+TEST(IthEval, RhoSweepIsMonotoneInComparisons) {
+  // Fig. 3's x-axis: decreasing rho never increases comparisons.
+  const Prepared p = prepare();
+  float prev_comparisons = static_cast<float>(p.model.config().vocab_size);
+  for (const float rho : {1.0F, 0.99F, 0.95F, 0.9F}) {
+    IthConfig cfg;
+    cfg.rho = rho;
+    const auto ith =
+        InferenceThresholding::calibrate(p.model, p.dataset.train, cfg);
+    const IthEvaluation ev = evaluate_ith(p.model, ith, p.dataset.test);
+    EXPECT_LE(ev.mean_comparisons, prev_comparisons + 1e-3F)
+        << "rho=" << rho;
+    prev_comparisons = ev.mean_comparisons;
+  }
+}
+
+}  // namespace
+}  // namespace mann::core

@@ -1,0 +1,200 @@
+#include "core/mips_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numeric/vector_ops.hpp"
+
+namespace mann::core {
+namespace {
+
+/// Rows with well-separated directions so approximate schemes should have
+/// an easy time; plus a cluster of decoys.
+numeric::Matrix make_weights(std::size_t rows, std::size_t dim,
+                             std::uint64_t seed) {
+  numeric::Rng rng(seed);
+  numeric::Matrix m(rows, dim);
+  for (float& v : m.data()) {
+    v = rng.normal();
+  }
+  return m;
+}
+
+std::vector<float> make_query(std::size_t dim, std::uint64_t seed) {
+  numeric::Rng rng(seed);
+  std::vector<float> q(dim);
+  for (float& v : q) {
+    v = rng.normal();
+  }
+  return q;
+}
+
+TEST(ExactMips, MatchesArgmaxAndCountsAllRows) {
+  const auto w = make_weights(37, 12, 1);
+  const ExactMips mips(w);
+  const auto q = make_query(12, 2);
+  const MipsResult r = mips.query(q);
+  EXPECT_EQ(r.dot_products, 37U);
+  EXPECT_EQ(r.overhead_ops, 0U);
+  EXPECT_EQ(r.index, numeric::argmax(numeric::matvec(w, q)));
+}
+
+TEST(ExactMips, RejectsEmpty) {
+  const numeric::Matrix empty;
+  EXPECT_THROW(ExactMips{empty}, std::invalid_argument);
+}
+
+TEST(AlshMips, HighRecallWithGenerousTables) {
+  const auto w = make_weights(64, 16, 3);
+  AlshMips::Config cfg;
+  cfg.tables = 24;
+  cfg.bits = 4;
+  const AlshMips alsh(w, cfg);
+  const ExactMips exact(w);
+  std::size_t hits = 0;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    const auto q = make_query(16, 100 + s);
+    if (alsh.query(q).index == exact.query(q).index) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 80U);
+}
+
+TEST(AlshMips, CandidateScanIsUsuallyPartial) {
+  const auto w = make_weights(256, 16, 4);
+  AlshMips::Config cfg;
+  cfg.tables = 4;
+  cfg.bits = 8;
+  const AlshMips alsh(w, cfg);
+  double mean_candidates = 0.0;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    mean_candidates +=
+        static_cast<double>(alsh.query(make_query(16, 200 + s)).dot_products);
+  }
+  mean_candidates /= 50.0;
+  EXPECT_LT(mean_candidates, 256.0);
+  EXPECT_GT(mean_candidates, 0.0);
+}
+
+TEST(AlshMips, ChargesHashOverhead) {
+  const auto w = make_weights(32, 8, 5);
+  AlshMips::Config cfg;
+  cfg.tables = 6;
+  cfg.bits = 5;
+  const AlshMips alsh(w, cfg);
+  const auto r = alsh.query(make_query(8, 6));
+  EXPECT_EQ(r.overhead_ops, 30U);
+}
+
+TEST(AlshMips, DeterministicForSeed) {
+  const auto w = make_weights(64, 12, 7);
+  AlshMips::Config cfg;
+  cfg.seed = 99;
+  const AlshMips a(w, cfg);
+  const AlshMips b(w, cfg);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto q = make_query(12, 300 + s);
+    const auto ra = a.query(q);
+    const auto rb = b.query(q);
+    EXPECT_EQ(ra.index, rb.index);
+    EXPECT_EQ(ra.dot_products, rb.dot_products);
+  }
+}
+
+TEST(AlshMips, RejectsBadGeometry) {
+  const auto w = make_weights(8, 4, 8);
+  AlshMips::Config cfg;
+  cfg.bits = 0;
+  EXPECT_THROW(AlshMips(w, cfg), std::invalid_argument);
+  cfg.bits = 30;
+  EXPECT_THROW(AlshMips(w, cfg), std::invalid_argument);
+}
+
+TEST(ClusterMips, PerfectRecallWhenProbingAllClusters) {
+  const auto w = make_weights(48, 10, 9);
+  ClusterMips::Config cfg;
+  cfg.clusters = 6;
+  cfg.probe_clusters = 6;
+  const ClusterMips cm(w, cfg);
+  const ExactMips exact(w);
+  for (std::uint64_t s = 0; s < 40; ++s) {
+    const auto q = make_query(10, 400 + s);
+    EXPECT_EQ(cm.query(q).index, exact.query(q).index);
+  }
+}
+
+TEST(ClusterMips, PartialProbeScansFewerRows) {
+  const auto w = make_weights(128, 12, 10);
+  ClusterMips::Config cfg;
+  cfg.clusters = 16;
+  cfg.probe_clusters = 2;
+  const ClusterMips cm(w, cfg);
+  const auto r = cm.query(make_query(12, 11));
+  EXPECT_LT(r.dot_products, 128U);
+  EXPECT_EQ(r.overhead_ops, 16U);
+}
+
+TEST(ClusterMips, AssignmentCoversEveryRow) {
+  const auto w = make_weights(60, 8, 12);
+  ClusterMips::Config cfg;
+  cfg.clusters = 5;
+  const ClusterMips cm(w, cfg);
+  ASSERT_EQ(cm.assignment().size(), 60U);
+  for (const std::uint32_t c : cm.assignment()) {
+    EXPECT_LT(c, 5U);
+  }
+}
+
+TEST(ClusterMips, GoodRecallOnClusteredData) {
+  // Rows drawn around 4 well-separated directions; probing the best
+  // cluster should almost always find the exact winner.
+  numeric::Rng rng(13);
+  const std::size_t dim = 16;
+  numeric::Matrix w(80, dim);
+  numeric::Matrix centers(4, dim);
+  for (float& v : centers.data()) {
+    v = rng.normal() * 5.0F;
+  }
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    const auto c = centers.row(i % 4);
+    for (std::size_t d = 0; d < dim; ++d) {
+      w(i, d) = c[d] + rng.normal() * 0.3F;
+    }
+  }
+  ClusterMips::Config cfg;
+  cfg.clusters = 4;
+  cfg.probe_clusters = 1;
+  const ClusterMips cm(w, cfg);
+  const ExactMips exact(w);
+  std::size_t hits = 0;
+  for (std::uint64_t s = 0; s < 60; ++s) {
+    // Queries aligned with a (noisy) cluster direction — the regime
+    // clustering MIPS is designed for.
+    std::vector<float> q(dim);
+    const auto center = centers.row(s % 4);
+    numeric::Rng qrng(500 + s);
+    for (std::size_t d = 0; d < dim; ++d) {
+      q[d] = center[d] + qrng.normal() * 0.5F;
+    }
+    if (cm.query(q).index == exact.query(q).index) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 48U);  // >= 80%
+}
+
+TEST(ClusterMips, ClampsClusterCounts) {
+  const auto w = make_weights(3, 4, 14);
+  ClusterMips::Config cfg;
+  cfg.clusters = 10;       // > rows
+  cfg.probe_clusters = 10;
+  const ClusterMips cm(w, cfg);
+  const auto r = cm.query(make_query(4, 15));
+  EXPECT_LE(r.overhead_ops, 3U);
+  EXPECT_LE(r.dot_products, 3U);
+}
+
+}  // namespace
+}  // namespace mann::core

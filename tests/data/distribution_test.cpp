@@ -1,0 +1,131 @@
+// Distributional properties of the task generators: a learnable QA task
+// needs balanced answers (no degenerate majority class) and stable
+// vocabulary across seeds (the closed world really is closed).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "data/encoder.hpp"
+
+namespace mann::data {
+namespace {
+
+std::map<std::string, std::size_t> answer_counts(TaskId id,
+                                                 std::size_t n,
+                                                 std::uint64_t seed) {
+  numeric::Rng rng(seed);
+  std::map<std::string, std::size_t> counts;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++counts[generate_story(id, rng).answer];
+  }
+  return counts;
+}
+
+TEST(Distribution, YesNoTasksAreRoughlyBalanced) {
+  for (const TaskId id : {TaskId::kYesNoQuestions, TaskId::kSimpleNegation,
+                          TaskId::kSizeReasoning,
+                          TaskId::kPositionalReasoning}) {
+    const auto counts = answer_counts(id, 600, 17);
+    const double yes = static_cast<double>(counts.at("yes"));
+    const double no = static_cast<double>(counts.at("no"));
+    // Neither side exceeds ~2/3: a majority-class guesser cannot score
+    // much above chance.
+    EXPECT_LT(yes / (yes + no), 0.67) << task_name(id);
+    EXPECT_GT(yes / (yes + no), 0.33) << task_name(id);
+  }
+}
+
+TEST(Distribution, NoAnswerClassDominatesLocationTasks) {
+  for (const TaskId id :
+       {TaskId::kSingleSupportingFact, TaskId::kTwoSupportingFacts,
+        TaskId::kBasicCoreference, TaskId::kConjunction}) {
+    const auto counts = answer_counts(id, 800, 23);
+    std::size_t max_count = 0;
+    std::size_t total = 0;
+    for (const auto& [answer, count] : counts) {
+      max_count = std::max(max_count, count);
+      total += count;
+    }
+    EXPECT_LT(static_cast<double>(max_count) / static_cast<double>(total),
+              0.4)
+        << task_name(id);
+  }
+}
+
+TEST(Distribution, IndefiniteKnowledgeCoversAllThreeAnswers) {
+  const auto counts = answer_counts(TaskId::kIndefiniteKnowledge, 600, 29);
+  for (const char* answer : {"yes", "no", "maybe"}) {
+    ASSERT_TRUE(counts.contains(answer)) << answer;
+    EXPECT_GT(counts.at(answer), 60U) << answer;  // >= 10% each
+  }
+}
+
+TEST(Distribution, CountingSkewsTowardSmallCounts) {
+  const auto counts = answer_counts(TaskId::kCounting, 600, 31);
+  // All four count words appear; the task is not constant.
+  for (const char* answer : {"none", "one", "two", "three"}) {
+    EXPECT_TRUE(counts.contains(answer)) << answer;
+  }
+}
+
+TEST(Distribution, VocabularyStableAcrossSeeds) {
+  // The closed world: different seeds generate different stories but the
+  // same token inventory (up to rare tokens), so deployed vocabularies
+  // do not drift.
+  for (const TaskId id : {TaskId::kSingleSupportingFact,
+                          TaskId::kPathFinding,
+                          TaskId::kAgentsMotivations}) {
+    auto vocab_of = [&](std::uint64_t seed) {
+      numeric::Rng rng(seed);
+      Vocab v;
+      for (int i = 0; i < 400; ++i) {
+        add_story_to_vocab(generate_story(id, rng), v);
+      }
+      std::set<std::string> words;
+      for (std::size_t w = 0; w < v.size(); ++w) {
+        words.insert(v.word(static_cast<std::int32_t>(w)));
+      }
+      return words;
+    };
+    const auto a = vocab_of(1);
+    const auto b = vocab_of(2);
+    // Symmetric difference must be tiny relative to the vocabulary.
+    std::size_t diff = 0;
+    for (const auto& w : a) {
+      if (!b.contains(w)) {
+        ++diff;
+      }
+    }
+    for (const auto& w : b) {
+      if (!a.contains(w)) {
+        ++diff;
+      }
+    }
+    EXPECT_LE(diff, a.size() / 10) << task_name(id);
+  }
+}
+
+TEST(Distribution, JointVocabularyIsUnionOfTasks) {
+  DatasetConfig dc;
+  dc.train_stories = 20;
+  dc.test_stories = 5;
+  const auto joint = build_joint_suite(dc);
+  std::set<std::string> joint_words;
+  for (std::size_t w = 0; w < joint[0].vocab.size(); ++w) {
+    joint_words.insert(joint[0].vocab.word(static_cast<std::int32_t>(w)));
+  }
+  for (const TaskId id : all_tasks()) {
+    const TaskDataset solo = build_task_dataset(id, dc);
+    for (std::size_t w = 0; w < solo.vocab.size(); ++w) {
+      EXPECT_TRUE(joint_words.contains(
+          solo.vocab.word(static_cast<std::int32_t>(w))))
+          << task_name(id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mann::data

@@ -1,0 +1,174 @@
+#include "data/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "numeric/random.hpp"
+
+namespace mann::data {
+namespace {
+
+TEST(Tasks, AllTasksEnumerates20InOrder) {
+  const auto& tasks = all_tasks();
+  ASSERT_EQ(tasks.size(), 20U);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(task_number(tasks[static_cast<std::size_t>(i)]), i + 1);
+  }
+}
+
+TEST(Tasks, TaskNamesAreUnique) {
+  std::set<std::string> names;
+  for (const TaskId id : all_tasks()) {
+    names.insert(task_name(id));
+  }
+  EXPECT_EQ(names.size(), 20U);
+}
+
+// ---- Parameterized structural properties over all 20 task families ----
+
+class TaskGeneration : public ::testing::TestWithParam<TaskId> {};
+
+TEST_P(TaskGeneration, StoriesAreWellFormed) {
+  numeric::Rng rng(100 + static_cast<std::uint64_t>(task_number(GetParam())));
+  for (int i = 0; i < 200; ++i) {
+    const Story s = generate_story(GetParam(), rng);
+    EXPECT_FALSE(s.context.empty()) << task_name(GetParam());
+    EXPECT_FALSE(s.question.empty());
+    EXPECT_FALSE(s.answer.empty());
+    for (const Sentence& sent : s.context) {
+      EXPECT_FALSE(sent.empty());
+      EXPECT_LE(sent.size(), 12U);  // short declarative sentences
+      for (const std::string& w : sent) {
+        EXPECT_FALSE(w.empty());
+        for (const char c : w) {
+          EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_')
+              << "token '" << w << "' in " << task_name(GetParam());
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TaskGeneration, DeterministicGivenSeed) {
+  numeric::Rng rng_a(7);
+  numeric::Rng rng_b(7);
+  for (int i = 0; i < 20; ++i) {
+    const Story a = generate_story(GetParam(), rng_a);
+    const Story b = generate_story(GetParam(), rng_b);
+    EXPECT_EQ(a.context, b.context);
+    EXPECT_EQ(a.question, b.question);
+    EXPECT_EQ(a.answer, b.answer);
+  }
+}
+
+TEST_P(TaskGeneration, StoriesVaryAcrossDraws) {
+  numeric::Rng rng(11);
+  std::set<std::string> distinct;
+  for (int i = 0; i < 50; ++i) {
+    const Story s = generate_story(GetParam(), rng);
+    std::string key;
+    for (const auto& sent : s.context) {
+      for (const auto& w : sent) {
+        key += w + " ";
+      }
+    }
+    key += "| " + s.answer;
+    distinct.insert(key);
+  }
+  EXPECT_GT(distinct.size(), 10U) << task_name(GetParam());
+}
+
+TEST_P(TaskGeneration, AnswerSpaceIsClosed) {
+  // Answers must come from a bounded set (single-token labels), or
+  // training/inference over a fixed output layer is impossible.
+  numeric::Rng rng(13);
+  std::set<std::string> answers;
+  for (int i = 0; i < 500; ++i) {
+    answers.insert(generate_story(GetParam(), rng).answer);
+  }
+  EXPECT_LE(answers.size(), 40U) << task_name(GetParam());
+  EXPECT_GE(answers.size(), 2U) << task_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, TaskGeneration, ::testing::ValuesIn(all_tasks()),
+    [](const ::testing::TestParamInfo<TaskId>& param_info) {
+      return "qa" + std::to_string(task_number(param_info.param));
+    });
+
+// ---- Task-specific semantic checks (ground truth by construction) ----
+
+TEST(TaskSemantics, Qa1AnswerIsALocation) {
+  numeric::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Story s = generate_story(TaskId::kSingleSupportingFact, rng);
+    EXPECT_EQ(s.question[0], "where");
+    // Answer must appear somewhere in the context (the supporting fact).
+    bool found = false;
+    for (const auto& sent : s.context) {
+      found |= std::find(sent.begin(), sent.end(), s.answer) != sent.end();
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(TaskSemantics, Qa6AnswersAreYesNo) {
+  numeric::Rng rng(6);
+  std::set<std::string> answers;
+  for (int i = 0; i < 200; ++i) {
+    answers.insert(generate_story(TaskId::kYesNoQuestions, rng).answer);
+  }
+  EXPECT_EQ(answers, (std::set<std::string>{"yes", "no"}));
+}
+
+TEST(TaskSemantics, Qa7AnswersAreCounts) {
+  numeric::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Story s = generate_story(TaskId::kCounting, rng);
+    EXPECT_TRUE(s.answer == "none" || s.answer == "one" ||
+                s.answer == "two" || s.answer == "three")
+        << s.answer;
+  }
+}
+
+TEST(TaskSemantics, Qa10IncludesMaybe) {
+  numeric::Rng rng(10);
+  std::set<std::string> answers;
+  for (int i = 0; i < 300; ++i) {
+    answers.insert(
+        generate_story(TaskId::kIndefiniteKnowledge, rng).answer);
+  }
+  EXPECT_TRUE(answers.contains("maybe"));
+  EXPECT_TRUE(answers.contains("yes"));
+  EXPECT_TRUE(answers.contains("no"));
+}
+
+TEST(TaskSemantics, Qa19AnswersAreDirectionTokens) {
+  numeric::Rng rng(19);
+  const std::set<std::string> valid = {
+      "north", "south", "east", "west",
+      "north_east", "north_west", "south_east", "south_west"};
+  for (int i = 0; i < 300; ++i) {
+    const Story s = generate_story(TaskId::kPathFinding, rng);
+    EXPECT_TRUE(valid.contains(s.answer)) << s.answer;
+  }
+}
+
+TEST(TaskSemantics, Qa20MotivationQuestionsConsistent) {
+  numeric::Rng rng(20);
+  for (int i = 0; i < 200; ++i) {
+    const Story s = generate_story(TaskId::kAgentsMotivations, rng);
+    if (s.question[0] == "why") {
+      EXPECT_TRUE(s.answer == "hungry" || s.answer == "sleepy" ||
+                  s.answer == "bored" || s.answer == "thirsty");
+    } else {
+      EXPECT_EQ(s.question[0], "where");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mann::data

@@ -1,0 +1,93 @@
+#include "data/vocab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mann::data {
+namespace {
+
+TEST(Vocab, StartsEmpty) {
+  const Vocab v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0U);
+}
+
+TEST(Vocab, AddAssignsDenseIndices) {
+  Vocab v;
+  EXPECT_EQ(v.add("alpha"), 0);
+  EXPECT_EQ(v.add("beta"), 1);
+  EXPECT_EQ(v.add("gamma"), 2);
+  EXPECT_EQ(v.size(), 3U);
+}
+
+TEST(Vocab, AddIsIdempotent) {
+  Vocab v;
+  const auto first = v.add("word");
+  const auto second = v.add("word");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(v.size(), 1U);
+}
+
+TEST(Vocab, FindKnownAndUnknown) {
+  Vocab v;
+  v.add("hello");
+  EXPECT_EQ(v.find("hello").value(), 0);
+  EXPECT_FALSE(v.find("world").has_value());
+}
+
+TEST(Vocab, AtThrowsForUnknown) {
+  Vocab v;
+  v.add("x");
+  EXPECT_EQ(v.at("x"), 0);
+  EXPECT_THROW((void)v.at("y"), std::out_of_range);
+}
+
+TEST(Vocab, WordRoundTrip) {
+  Vocab v;
+  v.add("one");
+  v.add("two");
+  EXPECT_EQ(v.word(0), "one");
+  EXPECT_EQ(v.word(1), "two");
+}
+
+TEST(Vocab, WordBadIndexThrows) {
+  Vocab v;
+  v.add("only");
+  EXPECT_THROW((void)v.word(1), std::out_of_range);
+  EXPECT_THROW((void)v.word(-1), std::out_of_range);
+}
+
+TEST(Vocab, StreamRoundTripPreservesIndices) {
+  Vocab v;
+  v.add("alpha");
+  v.add("beta");
+  v.add("gamma");
+  std::stringstream buffer;
+  save_vocab(buffer, v);
+  const Vocab loaded = load_vocab(buffer);
+  ASSERT_EQ(loaded.size(), 3U);
+  EXPECT_EQ(loaded.at("alpha"), 0);
+  EXPECT_EQ(loaded.at("beta"), 1);
+  EXPECT_EQ(loaded.at("gamma"), 2);
+}
+
+TEST(Vocab, FileRoundTrip) {
+  Vocab v;
+  v.add("kitchen");
+  v.add("garden");
+  const std::string path = ::testing::TempDir() + "/vocab_test.vocab";
+  save_vocab_file(path, v);
+  const Vocab loaded = load_vocab_file(path);
+  EXPECT_EQ(loaded.size(), 2U);
+  EXPECT_EQ(loaded.word(1), "garden");
+}
+
+TEST(Vocab, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_vocab_file("/nonexistent/v.vocab"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mann::data

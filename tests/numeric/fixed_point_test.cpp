@@ -1,0 +1,136 @@
+#include "numeric/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mann::numeric {
+namespace {
+
+TEST(FixedPoint, RoundTripSmallValues) {
+  for (const float v : {0.0F, 1.0F, -1.0F, 0.5F, -0.25F, 3.14159F}) {
+    EXPECT_NEAR(fx16::from_float(v).to_float(), v, 1.0F / 65536.0F);
+  }
+}
+
+TEST(FixedPoint, OneHasExactRaw) {
+  EXPECT_EQ(fx16::from_float(1.0F).raw(), fx16::kOne);
+}
+
+TEST(FixedPoint, RoundsToNearest) {
+  // Half an LSB above a representable value rounds up.
+  const float lsb = 1.0F / 65536.0F;
+  const fx16 v = fx16::from_float(lsb * 0.6F);
+  EXPECT_EQ(v.raw(), 1);
+  const fx16 w = fx16::from_float(lsb * 0.4F);
+  EXPECT_EQ(w.raw(), 0);
+}
+
+TEST(FixedPoint, AdditionExact) {
+  const auto a = fx16::from_float(1.25F);
+  const auto b = fx16::from_float(2.5F);
+  EXPECT_FLOAT_EQ((a + b).to_float(), 3.75F);
+}
+
+TEST(FixedPoint, SubtractionAndNegation) {
+  const auto a = fx16::from_float(1.0F);
+  const auto b = fx16::from_float(3.0F);
+  EXPECT_FLOAT_EQ((a - b).to_float(), -2.0F);
+  EXPECT_FLOAT_EQ((-b).to_float(), -3.0F);
+}
+
+TEST(FixedPoint, MultiplicationNearExactForDyadics) {
+  const auto a = fx16::from_float(1.5F);
+  const auto b = fx16::from_float(-2.25F);
+  EXPECT_FLOAT_EQ((a * b).to_float(), -3.375F);
+}
+
+TEST(FixedPoint, MultiplicationErrorBounded) {
+  // |error| of one multiply is at most one LSB.
+  const float lsb = 1.0F / 65536.0F;
+  for (float x = -3.0F; x < 3.0F; x += 0.37F) {
+    for (float y = -2.0F; y < 2.0F; y += 0.29F) {
+      const float got =
+          (fx16::from_float(x) * fx16::from_float(y)).to_float();
+      EXPECT_NEAR(got, x * y, 3.0F * lsb) << x << " * " << y;
+    }
+  }
+}
+
+TEST(FixedPoint, DivisionBasic) {
+  const auto a = fx16::from_float(3.0F);
+  const auto b = fx16::from_float(2.0F);
+  EXPECT_NEAR((a / b).to_float(), 1.5F, 1.0F / 65536.0F);
+}
+
+TEST(FixedPoint, DivisionByZeroSaturates) {
+  const auto a = fx16::from_float(1.0F);
+  EXPECT_EQ(a / fx16{}, fx16::max());
+  EXPECT_EQ((-a) / fx16{}, fx16::min());
+}
+
+TEST(FixedPoint, AdditionSaturatesInsteadOfWrapping) {
+  const fx16 big = fx16::max();
+  EXPECT_EQ(big + big, fx16::max());
+  const fx16 small = fx16::min();
+  EXPECT_EQ(small + small, fx16::min());
+}
+
+TEST(FixedPoint, MultiplicationSaturates) {
+  const auto big = fx16::from_float(30000.0F);
+  EXPECT_EQ(big * big, fx16::max());
+  EXPECT_EQ(big * (-big), fx16::min());
+}
+
+TEST(FixedPoint, FromFloatSaturates) {
+  EXPECT_EQ(fx16::from_float(1.0e9F), fx16::max());
+  EXPECT_EQ(fx16::from_float(-1.0e9F), fx16::min());
+}
+
+TEST(FixedPoint, ComparisonFollowsValue) {
+  const auto a = fx16::from_float(1.0F);
+  const auto b = fx16::from_float(2.0F);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, fx16::from_float(1.0F));
+}
+
+TEST(FixedPoint, CompoundOperators) {
+  auto a = fx16::from_float(1.0F);
+  a += fx16::from_float(0.5F);
+  a *= fx16::from_float(2.0F);
+  a -= fx16::from_float(1.0F);
+  EXPECT_FLOAT_EQ(a.to_float(), 2.0F);
+}
+
+template <typename Fx>
+class FixedPointPrecision : public ::testing::Test {};
+
+using Formats = ::testing::Types<fx8, fx12, fx16, fx20, fx24>;
+TYPED_TEST_SUITE(FixedPointPrecision, Formats);
+
+TYPED_TEST(FixedPointPrecision, ResolutionMatchesFracBits) {
+  const float lsb = 1.0F / static_cast<float>(1U << TypeParam::kFracBits);
+  EXPECT_FLOAT_EQ(TypeParam::epsilon().to_float(), lsb);
+  // Round trip within half an LSB.
+  const float v = 0.7712F;
+  EXPECT_NEAR(TypeParam::from_float(v).to_float(), v, 0.5F * lsb + 1e-7F);
+}
+
+TYPED_TEST(FixedPointPrecision, DotProductErrorShrinksWithPrecision) {
+  // A short dot product in format F has error bounded by n * lsb-ish.
+  const std::vector<float> a = {0.11F, -0.52F, 0.97F, 0.33F};
+  const std::vector<float> b = {0.71F, 0.45F, -0.18F, 0.88F};
+  TypeParam acc{};
+  float ref = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += TypeParam::from_float(a[i]) * TypeParam::from_float(b[i]);
+    ref += a[i] * b[i];
+  }
+  const float lsb = 1.0F / static_cast<float>(1U << TypeParam::kFracBits);
+  EXPECT_NEAR(acc.to_float(), ref, 8.0F * lsb);
+}
+
+}  // namespace
+}  // namespace mann::numeric

@@ -1,0 +1,90 @@
+#include "numeric/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mann::numeric {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0F, 1.0F, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0F, 1.0F, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0F, 1.0F, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0F, 4.0F, 4);  // bins [0,1) [1,2) [2,3) [3,4)
+  h.add(0.5F);
+  h.add(1.5F);
+  h.add(1.9F);
+  h.add(3.0F);
+  EXPECT_EQ(h.count(0), 1U);
+  EXPECT_EQ(h.count(1), 2U);
+  EXPECT_EQ(h.count(2), 0U);
+  EXPECT_EQ(h.count(3), 1U);
+  EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(Histogram, ClampsOutOfRangeIntoEdgeBins) {
+  Histogram h(0.0F, 1.0F, 2);
+  h.add(-10.0F);
+  h.add(10.0F);
+  EXPECT_EQ(h.count(0), 1U);
+  EXPECT_EQ(h.count(1), 1U);
+  EXPECT_EQ(h.total(), 2U);
+}
+
+TEST(Histogram, BinCenters) {
+  const Histogram h(0.0F, 4.0F, 4);
+  EXPECT_FLOAT_EQ(h.bin_center(0), 0.5F);
+  EXPECT_FLOAT_EQ(h.bin_center(3), 3.5F);
+}
+
+TEST(Histogram, BadBinThrows) {
+  const Histogram h(0.0F, 1.0F, 2);
+  EXPECT_THROW((void)h.count(2), std::out_of_range);
+  EXPECT_THROW((void)h.bin_center(2), std::out_of_range);
+  EXPECT_THROW((void)h.density(2), std::out_of_range);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0F, 10.0F, 20);
+  for (int i = 0; i < 500; ++i) {
+    h.add(static_cast<float>(i % 10) + 0.5F);
+  }
+  float integral = 0.0F;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    integral += h.density(b) * h.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0F, 1e-5F);
+}
+
+TEST(Histogram, MeanAndStddev) {
+  Histogram h(-10.0F, 10.0F, 10);
+  h.add(1.0F);
+  h.add(3.0F);
+  EXPECT_FLOAT_EQ(h.mean(), 2.0F);
+  EXPECT_FLOAT_EQ(h.stddev(), 1.0F);
+}
+
+TEST(Histogram, EmptyStatsAreZero) {
+  const Histogram h(0.0F, 1.0F, 2);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.mean(), 0.0F);
+  EXPECT_EQ(h.stddev(), 0.0F);
+  EXPECT_EQ(h.density(0), 0.0F);
+}
+
+TEST(Histogram, RetainsRawSamples) {
+  Histogram h(0.0F, 1.0F, 2);
+  h.add(0.25F);
+  h.add(0.75F);
+  const auto s = h.samples();
+  ASSERT_EQ(s.size(), 2U);
+  EXPECT_FLOAT_EQ(s[0], 0.25F);
+  EXPECT_FLOAT_EQ(s[1], 0.75F);
+}
+
+}  // namespace
+}  // namespace mann::numeric

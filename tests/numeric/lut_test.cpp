@@ -1,0 +1,84 @@
+#include "numeric/lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mann::numeric {
+namespace {
+
+TEST(ExpLut, MatchesStdExpWithinBudget) {
+  const ExpLut lut;
+  for (float x = -16.0F; x <= 0.0F; x += 0.0137F) {
+    EXPECT_NEAR(lut(x), std::exp(x), 2e-4F) << "x=" << x;
+  }
+}
+
+TEST(ExpLut, ReportsMaxAbsError) {
+  const ExpLut lut;
+  EXPECT_GT(lut.max_abs_error(), 0.0F);
+  EXPECT_LT(lut.max_abs_error(), 2e-4F);
+}
+
+TEST(ExpLut, ErrorShrinksWithTableDepth) {
+  const ExpLut coarse({.domain_min = -16.0F, .domain_max = 0.0F,
+                       .entries = 128});
+  const ExpLut fine({.domain_min = -16.0F, .domain_max = 0.0F,
+                     .entries = 4096});
+  EXPECT_LT(fine.max_abs_error(), coarse.max_abs_error());
+}
+
+TEST(ExpLut, ClampsBelowDomain) {
+  const ExpLut lut;
+  EXPECT_FLOAT_EQ(lut(-100.0F), std::exp(-16.0F));
+}
+
+TEST(ExpLut, ClampsAboveDomain) {
+  const ExpLut lut;
+  EXPECT_FLOAT_EQ(lut(5.0F), std::exp(0.0F));
+}
+
+TEST(ExpLut, EndpointsExact) {
+  const ExpLut lut;
+  EXPECT_FLOAT_EQ(lut(0.0F), 1.0F);
+  EXPECT_NEAR(lut(-16.0F), std::exp(-16.0F), 1e-10F);
+}
+
+TEST(ExpLut, RejectsDegenerateConfig) {
+  EXPECT_THROW(ExpLut({.domain_min = 0.0F, .domain_max = 0.0F,
+                       .entries = 16}),
+               std::invalid_argument);
+  EXPECT_THROW(ExpLut({.domain_min = -1.0F, .domain_max = 0.0F,
+                       .entries = 1}),
+               std::invalid_argument);
+}
+
+TEST(ReciprocalLut, AccurateOverWideRange) {
+  const ReciprocalLut lut;
+  for (const float x : {0.001F, 0.01F, 0.1F, 0.5F, 1.0F, 1.5F, 2.0F, 7.0F,
+                        100.0F, 12345.0F}) {
+    EXPECT_NEAR(lut(x) * x, 1.0F, 2e-5F) << "x=" << x;
+  }
+}
+
+TEST(ReciprocalLut, NonPositiveSaturates) {
+  const ReciprocalLut lut;
+  EXPECT_EQ(lut(0.0F), std::numeric_limits<float>::max());
+  EXPECT_EQ(lut(-3.0F), std::numeric_limits<float>::max());
+}
+
+TEST(ReciprocalLut, SoftmaxDenominatorRegime) {
+  // Softmax sums lie in [1, L]; check that regime specifically.
+  const ReciprocalLut lut;
+  for (float sum = 1.0F; sum <= 50.0F; sum += 0.731F) {
+    EXPECT_NEAR(lut(sum), 1.0F / sum, 2e-6F);
+  }
+}
+
+TEST(ReciprocalLut, RejectsDegenerateConfig) {
+  EXPECT_THROW(ReciprocalLut({.entries = 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mann::numeric

@@ -1,0 +1,96 @@
+#include "numeric/mixture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numeric/random.hpp"
+
+namespace mann::numeric {
+namespace {
+
+TEST(Mixture, NormalPdfBasics) {
+  EXPECT_NEAR(normal_pdf(0.0F, 0.0F, 1.0F), 0.3989F, 1e-3F);
+  EXPECT_NEAR(normal_pdf(1.0F, 0.0F, 1.0F), 0.2420F, 1e-3F);
+  // Symmetry.
+  EXPECT_FLOAT_EQ(normal_pdf(2.0F, 1.0F, 0.5F), normal_pdf(0.0F, 1.0F, 0.5F));
+}
+
+TEST(Mixture, RejectsTooFewSamples) {
+  const std::vector<float> one = {1.0F};
+  EXPECT_THROW((void)fit_two_gaussians(one), std::invalid_argument);
+}
+
+TEST(Mixture, RecoversWellSeparatedComponents) {
+  Rng rng(41);
+  std::vector<float> samples;
+  for (int i = 0; i < 2'000; ++i) {
+    samples.push_back(rng.normal(-5.0F, 0.5F));
+    samples.push_back(rng.normal(5.0F, 1.0F));
+  }
+  const MixtureFit fit = fit_two_gaussians(samples);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.low.mean, -5.0F, 0.15F);
+  EXPECT_NEAR(fit.high.mean, 5.0F, 0.15F);
+  EXPECT_NEAR(fit.low.stddev, 0.5F, 0.1F);
+  EXPECT_NEAR(fit.high.stddev, 1.0F, 0.15F);
+  EXPECT_NEAR(fit.low.weight, 0.5F, 0.05F);
+}
+
+TEST(Mixture, RecoversUnequalWeights) {
+  Rng rng(42);
+  std::vector<float> samples;
+  for (int i = 0; i < 9'000; ++i) {
+    samples.push_back(rng.normal(0.0F, 1.0F));
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    samples.push_back(rng.normal(8.0F, 1.0F));
+  }
+  const MixtureFit fit = fit_two_gaussians(samples);
+  EXPECT_NEAR(fit.low.weight, 0.9F, 0.05F);
+  EXPECT_NEAR(fit.high.weight, 0.1F, 0.05F);
+}
+
+TEST(Mixture, ComponentsOrderedByMean) {
+  Rng rng(43);
+  std::vector<float> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back(rng.normal(3.0F, 0.3F));
+    samples.push_back(rng.normal(-3.0F, 0.3F));
+  }
+  const MixtureFit fit = fit_two_gaussians(samples);
+  EXPECT_LT(fit.low.mean, fit.high.mean);
+}
+
+TEST(Mixture, SeparationMetric) {
+  MixtureFit fit;
+  fit.low = {0.5F, 0.0F, 1.0F};
+  fit.high = {0.5F, 4.0F, 1.0F};
+  EXPECT_FLOAT_EQ(separation(fit), 2.0F);
+}
+
+TEST(Mixture, UnimodalDataYieldsLowSeparation) {
+  Rng rng(44);
+  std::vector<float> samples;
+  for (int i = 0; i < 3'000; ++i) {
+    samples.push_back(rng.normal(0.0F, 1.0F));
+  }
+  const MixtureFit fit = fit_two_gaussians(samples);
+  EXPECT_LT(separation(fit), 1.0F);
+}
+
+TEST(Mixture, VarianceFloorPreventsCollapse) {
+  // Two exactly-repeated points: stddev must respect the floor.
+  std::vector<float> samples;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(0.0F);
+    samples.push_back(1.0F);
+  }
+  const MixtureFitOptions opt;
+  const MixtureFit fit = fit_two_gaussians(samples, opt);
+  EXPECT_GE(fit.low.stddev, opt.min_stddev);
+  EXPECT_GE(fit.high.stddev, opt.min_stddev);
+}
+
+}  // namespace
+}  // namespace mann::numeric

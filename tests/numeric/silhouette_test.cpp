@@ -1,0 +1,99 @@
+#include "numeric/silhouette.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numeric/random.hpp"
+
+namespace mann::numeric {
+namespace {
+
+TEST(Silhouette, EmptyClustersGiveZero) {
+  const std::vector<float> some = {1.0F, 2.0F};
+  EXPECT_EQ(average_silhouette({}, some), 0.0F);
+  EXPECT_EQ(average_silhouette(some, {}), 0.0F);
+}
+
+TEST(Silhouette, WellSeparatedClustersNearOne) {
+  const std::vector<float> own = {0.0F, 0.1F, -0.1F};
+  const std::vector<float> other = {100.0F, 100.1F, 99.9F};
+  EXPECT_GT(average_silhouette(own, other), 0.99F);
+}
+
+TEST(Silhouette, IdenticalClustersNonPositive) {
+  const std::vector<float> own = {1.0F, 2.0F, 3.0F};
+  const std::vector<float> other = {1.0F, 2.0F, 3.0F};
+  EXPECT_LE(average_silhouette(own, other), 0.05F);
+}
+
+TEST(Silhouette, OverlappingWorseThanSeparated) {
+  Rng rng(3);
+  std::vector<float> own;
+  std::vector<float> near;
+  std::vector<float> far;
+  for (int i = 0; i < 200; ++i) {
+    own.push_back(rng.normal(0.0F, 1.0F));
+    near.push_back(rng.normal(1.0F, 1.0F));
+    far.push_back(rng.normal(10.0F, 1.0F));
+  }
+  EXPECT_LT(average_silhouette(own, near), average_silhouette(own, far));
+}
+
+TEST(Silhouette, SingletonOwnClusterUsesZeroIntra) {
+  // a(x) = 0 for a singleton; s = b / b = 1 when other is distant.
+  const std::vector<float> own = {0.0F};
+  const std::vector<float> other = {10.0F, 11.0F};
+  EXPECT_FLOAT_EQ(average_silhouette(own, other), 1.0F);
+}
+
+TEST(Silhouette, BoundedInMinusOneOne) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> own;
+    std::vector<float> other;
+    const std::size_t n = 1 + rng.index(30);
+    const std::size_t m = 1 + rng.index(30);
+    for (std::size_t i = 0; i < n; ++i) {
+      own.push_back(rng.uniform(-5.0F, 5.0F));
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      other.push_back(rng.uniform(-5.0F, 5.0F));
+    }
+    const float s = average_silhouette(own, other);
+    EXPECT_GE(s, -1.0F);
+    EXPECT_LE(s, 1.0F);
+  }
+}
+
+TEST(Silhouette, MatchesBruteForce) {
+  Rng rng(5);
+  std::vector<float> own;
+  std::vector<float> other;
+  for (int i = 0; i < 17; ++i) {
+    own.push_back(rng.uniform(-2.0F, 2.0F));
+  }
+  for (int i = 0; i < 23; ++i) {
+    other.push_back(rng.uniform(0.0F, 6.0F));
+  }
+  // Brute-force reference.
+  double acc = 0.0;
+  for (const float x : own) {
+    double a = 0.0;
+    for (const float y : own) {
+      a += std::abs(x - y);
+    }
+    a /= static_cast<double>(own.size() - 1);
+    double b = 0.0;
+    for (const float y : other) {
+      b += std::abs(x - y);
+    }
+    b /= static_cast<double>(other.size());
+    acc += (b - a) / std::max(a, b);
+  }
+  const float expected = static_cast<float>(acc / static_cast<double>(own.size()));
+  EXPECT_NEAR(average_silhouette(own, other), expected, 1e-4F);
+}
+
+}  // namespace
+}  // namespace mann::numeric

@@ -1,0 +1,91 @@
+#include "power/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mann::power {
+namespace {
+
+TEST(Energy, JoulesAndFlopsPerKj) {
+  EnergyReport r;
+  r.seconds = 10.0;
+  r.watts = 50.0;  // 500 J = 0.5 kJ
+  r.flops = 1'000'000;
+  EXPECT_DOUBLE_EQ(r.joules(), 500.0);
+  EXPECT_DOUBLE_EQ(r.flop_rate(), 100'000.0);
+  // Paper metric: rate / kJ = 1e5 / 0.5.
+  EXPECT_DOUBLE_EQ(r.flops_per_kj(), 200'000.0);
+}
+
+TEST(Energy, MetricReproducesPaperTableOne) {
+  // The published normalized FLOPS/kJ columns follow from the published
+  // times and powers under the rate-per-energy reading. Same FLOP count
+  // for every configuration (same workload).
+  EnergyReport gpu;
+  gpu.seconds = 226.90;
+  gpu.watts = 45.36;
+  gpu.flops = 1'000'000'000;
+  EnergyReport cpu;
+  cpu.seconds = 242.77;
+  cpu.watts = 23.28;
+  cpu.flops = gpu.flops;
+  EnergyReport fpga100;
+  fpga100.seconds = 30.28;
+  fpga100.watts = 20.10;
+  fpga100.flops = gpu.flops;
+  EnergyReport fpga100_ith;
+  fpga100_ith.seconds = 28.53;
+  fpga100_ith.watts = 20.53;
+  fpga100_ith.flops = gpu.flops;
+
+  EXPECT_NEAR(normalize(cpu, gpu).energy_efficiency, 1.70, 0.01);
+  EXPECT_NEAR(normalize(fpga100, gpu).energy_efficiency, 126.72, 0.8);
+  EXPECT_NEAR(normalize(fpga100_ith, gpu).energy_efficiency, 139.75, 1.0);
+  EXPECT_NEAR(normalize(fpga100, gpu).speedup, 7.49, 0.01);
+}
+
+TEST(Energy, ZeroEnergyGuard) {
+  EnergyReport r;
+  r.flops = 100;
+  EXPECT_DOUBLE_EQ(r.flops_per_kj(), 0.0);
+}
+
+TEST(Energy, NormalizeAgainstBaseline) {
+  EnergyReport gpu;
+  gpu.seconds = 100.0;
+  gpu.watts = 45.0;
+  gpu.flops = 1'000'000;
+
+  EnergyReport fpga;
+  fpga.seconds = 20.0;   // 5x faster
+  fpga.watts = 15.0;     // 3x less power
+  fpga.flops = 1'000'000;
+
+  const NormalizedReport n = normalize(fpga, gpu);
+  EXPECT_NEAR(n.speedup, 5.0, 1e-9);
+  // speedup^2 * power ratio = 25 * 3.
+  EXPECT_NEAR(n.energy_efficiency, 75.0, 1e-9);
+}
+
+TEST(Energy, BaselineNormalizesToUnity) {
+  EnergyReport gpu;
+  gpu.seconds = 10.0;
+  gpu.watts = 45.0;
+  gpu.flops = 500;
+  const NormalizedReport n = normalize(gpu, gpu);
+  EXPECT_DOUBLE_EQ(n.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(n.energy_efficiency, 1.0);
+}
+
+TEST(Energy, DegenerateMeasurementGuards) {
+  EnergyReport base;
+  base.seconds = 1.0;
+  base.watts = 1.0;
+  base.flops = 1000;
+  EnergyReport zero;
+  const NormalizedReport n = normalize(zero, base);
+  EXPECT_DOUBLE_EQ(n.speedup, 0.0);
+  EXPECT_DOUBLE_EQ(n.energy_efficiency, 0.0);
+}
+
+}  // namespace
+}  // namespace mann::power

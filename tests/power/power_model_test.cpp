@@ -1,0 +1,115 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mann::power {
+namespace {
+
+accel::RunResult synthetic_run(sim::Cycle cycles, sim::Cycle link_cycles,
+                               std::uint64_t macs) {
+  accel::RunResult run;
+  run.total_cycles = cycles;
+  run.link_active_cycles = link_cycles;
+  run.total_ops.mac = macs;
+  return run;
+}
+
+TEST(FpgaPowerModel, OpEnergyIsLinearInCounts) {
+  const FpgaPowerModel model;
+  sim::OpCounts ops;
+  ops.mac = 1000;
+  const double one = model.op_energy(ops);
+  ops.mac = 2000;
+  EXPECT_DOUBLE_EQ(model.op_energy(ops), 2.0 * one);
+}
+
+TEST(FpgaPowerModel, OpEnergyWeightsByKind) {
+  const FpgaPowerModel model;
+  sim::OpCounts divs;
+  divs.div = 100;
+  sim::OpCounts adds;
+  adds.add = 100;
+  // A divider op costs more than an add.
+  EXPECT_GT(model.op_energy(divs), model.op_energy(adds));
+}
+
+TEST(FpgaPowerModel, StaticPowerDominatesIdleRun) {
+  const FpgaPowerModel model;
+  const auto run = synthetic_run(100'000'000, 0, 0);  // 1 s @ 100 MHz, idle
+  const FpgaPowerReport r = model.estimate(run, 100.0e6);
+  EXPECT_NEAR(r.seconds, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.dynamic_joules, 0.0);
+  EXPECT_NEAR(r.static_joules, model.config().static_watts, 1e-9);
+  EXPECT_GT(r.mean_watts, model.config().static_watts);
+}
+
+TEST(FpgaPowerModel, PowerRisesWithClock) {
+  // The paper's Table I: 14.71 W @25 MHz rising to 20.10 W @100 MHz.
+  const FpgaPowerModel model;
+  const auto run25 = synthetic_run(25'000'000, 0, 0);   // 1 s @ 25 MHz
+  const auto run100 = synthetic_run(100'000'000, 0, 0); // 1 s @ 100 MHz
+  const double p25 = model.estimate(run25, 25.0e6).mean_watts;
+  const double p100 = model.estimate(run100, 100.0e6).mean_watts;
+  EXPECT_LT(p25, p100);
+  // Calibration sanity: within ~15% of the published operating points.
+  EXPECT_NEAR(p25, 14.71, 2.2);
+  EXPECT_NEAR(p100, 20.10, 3.0);
+}
+
+TEST(FpgaPowerModel, LinkEnergyChargedOnlyWhenActive) {
+  const FpgaPowerModel model;
+  const auto idle = synthetic_run(1000, 0, 0);
+  const auto busy = synthetic_run(1000, 1000, 0);
+  EXPECT_EQ(model.estimate(idle, 1.0e6).link_joules, 0.0);
+  EXPECT_GT(model.estimate(busy, 1.0e6).link_joules, 0.0);
+}
+
+TEST(FpgaPowerModel, TotalIsSumOfComponents) {
+  const FpgaPowerModel model;
+  const auto run = synthetic_run(5'000'000, 1'000'000, 123'456);
+  const FpgaPowerReport r = model.estimate(run, 50.0e6);
+  EXPECT_NEAR(r.total_joules,
+              r.dynamic_joules + r.clock_joules + r.static_joules +
+                  r.link_joules,
+              1e-12);
+  EXPECT_NEAR(r.mean_watts * r.seconds, r.total_joules, 1e-9);
+}
+
+TEST(FpgaPowerModel, PerModuleSplitsDynamicEnergy) {
+  const FpgaPowerModel model;
+  accel::RunResult run;
+  run.total_cycles = 1000;
+  accel::ModuleReport mem;
+  mem.name = "MEM";
+  mem.stats.busy_cycles = 400;
+  mem.stats.ops.mac = 500;
+  accel::ModuleReport out;
+  out.name = "OUTPUT";
+  out.stats.busy_cycles = 100;
+  out.stats.ops.mac = 100;
+  run.modules = {mem, out};
+  run.total_ops = mem.stats.ops;
+  run.total_ops += out.stats.ops;
+
+  const auto rows = model.per_module(run);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0].name, "MEM");
+  EXPECT_DOUBLE_EQ(rows[0].busy_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(rows[1].busy_fraction, 0.1);
+  // Split sums to the total dynamic energy.
+  EXPECT_NEAR(rows[0].dynamic_joules + rows[1].dynamic_joules,
+              model.op_energy(run.total_ops), 1e-18);
+  // MEM did 5x the MACs of OUTPUT.
+  EXPECT_NEAR(rows[0].dynamic_joules, 5.0 * rows[1].dynamic_joules, 1e-18);
+}
+
+TEST(FpgaPowerModel, MoreOpsMoreEnergySameTime) {
+  const FpgaPowerModel model;
+  const auto light = synthetic_run(1'000'000, 0, 1'000);
+  const auto heavy = synthetic_run(1'000'000, 0, 1'000'000'000);
+  EXPECT_GT(model.estimate(heavy, 100.0e6).total_joules,
+            model.estimate(light, 100.0e6).total_joules);
+}
+
+}  // namespace
+}  // namespace mann::power

@@ -1,0 +1,96 @@
+#include "runtime/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "model/trainer.hpp"
+
+namespace mann::runtime {
+namespace {
+
+struct Prepared {
+  data::TaskDataset dataset;
+  model::MemN2N model;
+};
+
+Prepared prepare() {
+  data::DatasetConfig dc;
+  dc.train_stories = 60;
+  dc.test_stories = 30;
+  data::TaskDataset ds =
+      data::build_task_dataset(data::TaskId::kSingleSupportingFact, dc);
+  model::ModelConfig mc;
+  mc.vocab_size = ds.vocab_size();
+  // Realistic arithmetic volume per story: the CPU-vs-GPU ordering is a
+  // statement about the dispatch-bound regime at bAbI scale, so the test
+  // model must not be degenerate-small.
+  mc.embedding_dim = 32;
+  mc.hops = 3;
+  numeric::Rng rng(3);
+  model::MemN2N net(mc, rng);
+  return {std::move(ds), std::move(net)};
+}
+
+TEST(Baseline, ConfigsHavePaperPowerEnvelopes) {
+  EXPECT_NEAR(cpu_baseline().active_watts, 23.28, 1e-9);
+  EXPECT_NEAR(gpu_baseline().active_watts, 45.36, 1e-9);
+}
+
+TEST(Baseline, DispatchesCountFollowsHops) {
+  model::ModelConfig c;
+  c.hops = 3;
+  EXPECT_EQ(dispatches_per_story(c), 3U + 15U + 2U);
+  c.hops = 1;
+  EXPECT_EQ(dispatches_per_story(c), 3U + 5U + 2U);
+}
+
+TEST(Baseline, FunctionalAccuracyMatchesModel) {
+  const Prepared p = prepare();
+  const BaselineResult r =
+      run_baseline(cpu_baseline(), p.model, p.dataset.test);
+  const float ref = model::evaluate_accuracy(p.model, p.dataset.test);
+  EXPECT_NEAR(r.accuracy(), ref, 1e-6);
+  EXPECT_EQ(r.stories, p.dataset.test.size());
+}
+
+TEST(Baseline, TimeScalesWithRepetitions) {
+  const Prepared p = prepare();
+  const auto cfg = cpu_baseline();
+  const BaselineResult once = run_baseline(cfg, p.model, p.dataset.test, 1);
+  const BaselineResult ten = run_baseline(cfg, p.model, p.dataset.test, 10);
+  const double once_loop = once.energy.seconds - cfg.setup_seconds;
+  const double ten_loop = ten.energy.seconds - cfg.setup_seconds;
+  EXPECT_NEAR(ten_loop, 10.0 * once_loop, 1e-9);
+  EXPECT_EQ(ten.energy.flops, 10U * once.energy.flops);
+}
+
+TEST(Baseline, GpuFasterPerStoryButHungrier) {
+  // The paper's regime: GPU slightly faster than CPU (1.07x in Table I,
+  // once setup is amortized over the long measurement), at ~2x the power.
+  const Prepared p = prepare();
+  const BaselineResult cpu =
+      run_baseline(cpu_baseline(), p.model, p.dataset.test, 2000);
+  const BaselineResult gpu =
+      run_baseline(gpu_baseline(), p.model, p.dataset.test, 2000);
+  // Compare steady-state loop time (setup amortizes over the paper's long
+  // measurement; at unit-test scale it would dominate the comparison).
+  const double cpu_loop =
+      cpu.energy.seconds - cpu_baseline().setup_seconds;
+  const double gpu_loop =
+      gpu.energy.seconds - gpu_baseline().setup_seconds;
+  EXPECT_LT(gpu_loop, cpu_loop);
+  EXPECT_GT(gpu_loop, cpu_loop * 0.5);
+  EXPECT_GT(gpu.energy.watts, cpu.energy.watts);
+}
+
+TEST(Baseline, EmptyWorkloadChargesSetupOnly) {
+  const Prepared p = prepare();
+  const auto cfg = gpu_baseline();
+  const BaselineResult r = run_baseline(cfg, p.model, {});
+  EXPECT_DOUBLE_EQ(r.energy.seconds, cfg.setup_seconds);
+  EXPECT_EQ(r.energy.flops, 0U);
+  EXPECT_EQ(r.stories, 0U);
+}
+
+}  // namespace
+}  // namespace mann::runtime

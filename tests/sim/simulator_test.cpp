@@ -1,0 +1,112 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace mann::sim {
+namespace {
+
+/// Counts its own ticks; optionally marks itself busy every other cycle.
+class CountingModule final : public Module {
+ public:
+  explicit CountingModule(std::string name) : Module(std::move(name)) {}
+
+  void tick() override {
+    ++ticks;
+    if (ticks % 2 == 0) {
+      mark_busy();
+    } else {
+      mark_stalled();
+    }
+    ops().add += 3;
+  }
+
+  Cycle ticks = 0;
+};
+
+TEST(Simulator, RunsUntilPredicate) {
+  CountingModule m("m");
+  Simulator sim;
+  sim.add_module(m);
+  const Cycle elapsed = sim.run_until([&] { return m.ticks >= 10; }, 1000);
+  EXPECT_EQ(elapsed, 10U);
+  EXPECT_EQ(sim.now(), 10U);
+}
+
+TEST(Simulator, TicksModulesInRegistrationOrder) {
+  std::vector<int> order;
+  class Probe final : public Module {
+   public:
+    Probe(std::string name, std::vector<int>& log, int id)
+        : Module(std::move(name)), log_(log), id_(id) {}
+    void tick() override { log_.push_back(id_); }
+
+   private:
+    std::vector<int>& log_;
+    int id_;
+  };
+  Probe a("a", order, 1);
+  Probe b("b", order, 2);
+  Simulator sim;
+  sim.add_module(a);
+  sim.add_module(b);
+  (void)sim.run_until([&] { return order.size() >= 4; }, 100);
+  ASSERT_EQ(order.size(), 4U);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+  EXPECT_EQ(order[3], 2);
+}
+
+TEST(Simulator, WatchdogThrows) {
+  CountingModule m("m");
+  Simulator sim;
+  sim.add_module(m);
+  EXPECT_THROW((void)sim.run_until([] { return false; }, 50),
+               std::runtime_error);
+}
+
+TEST(Simulator, StatsAccumulate) {
+  CountingModule m("m");
+  Simulator sim;
+  sim.add_module(m);
+  (void)sim.run_until([&] { return m.ticks >= 8; }, 100);
+  EXPECT_EQ(m.stats().busy_cycles, 4U);
+  EXPECT_EQ(m.stats().stall_cycles, 4U);
+  EXPECT_EQ(m.stats().ops.add, 24U);
+}
+
+TEST(Simulator, SequentialRunsAccumulateTime) {
+  CountingModule m("m");
+  Simulator sim;
+  sim.add_module(m);
+  (void)sim.run_until([&] { return m.ticks >= 3; }, 100);
+  (void)sim.run_until([&] { return m.ticks >= 7; }, 100);
+  EXPECT_EQ(sim.now(), 7U);
+}
+
+TEST(Simulator, ImmediateDonePredicateRunsZeroCycles) {
+  CountingModule m("m");
+  Simulator sim;
+  sim.add_module(m);
+  EXPECT_EQ(sim.run_until([] { return true; }, 10), 0U);
+  EXPECT_EQ(m.ticks, 0U);
+}
+
+TEST(OpCounts, AccumulateAndTotal) {
+  OpCounts a;
+  a.mac = 5;
+  a.exp = 2;
+  OpCounts b;
+  b.mac = 1;
+  b.div = 7;
+  a += b;
+  EXPECT_EQ(a.mac, 6U);
+  EXPECT_EQ(a.div, 7U);
+  EXPECT_EQ(a.total(), 6U + 2U + 7U);
+}
+
+}  // namespace
+}  // namespace mann::sim

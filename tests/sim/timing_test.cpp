@@ -1,0 +1,70 @@
+#include "sim/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mann::sim {
+namespace {
+
+TEST(Timing, CeilDiv) {
+  EXPECT_EQ(ceil_div(8, 8), 1U);
+  EXPECT_EQ(ceil_div(9, 8), 2U);
+  EXPECT_EQ(ceil_div(0, 8), 0U);
+  EXPECT_EQ(ceil_div(1, 1), 1U);
+}
+
+TEST(Timing, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0U);
+  EXPECT_EQ(ceil_log2(2), 1U);
+  EXPECT_EQ(ceil_log2(8), 3U);
+  EXPECT_EQ(ceil_log2(9), 4U);
+}
+
+TEST(Timing, TreeLatencyTracksWidth) {
+  DatapathTiming t;
+  t.lane_width = 8;
+  EXPECT_EQ(t.tree_latency(), 3U);
+  t.lane_width = 16;
+  EXPECT_EQ(t.tree_latency(), 4U);
+  t.lane_width = 1;
+  EXPECT_EQ(t.tree_latency(), 0U);
+}
+
+TEST(Timing, DotCyclesPipelined) {
+  DatapathTiming t;
+  t.lane_width = 8;
+  // 24 elements: 3 issue cycles + 3 drain.
+  EXPECT_EQ(t.dot_cycles(24), 6U);
+  EXPECT_EQ(t.dot_ii(24), 3U);
+  // Short vector still needs >= 1 issue cycle.
+  EXPECT_EQ(t.dot_ii(2), 1U);
+}
+
+TEST(Timing, WiderTreeIsFaster) {
+  DatapathTiming narrow;
+  narrow.lane_width = 4;
+  DatapathTiming wide;
+  wide.lane_width = 32;
+  EXPECT_GT(narrow.dot_cycles(64), wide.dot_cycles(64));
+}
+
+TEST(Timing, ExpBlockPipelines) {
+  DatapathTiming t;
+  t.exp_latency = 3;
+  t.exp_ii = 1;
+  EXPECT_EQ(t.exp_block(0), 0U);
+  EXPECT_EQ(t.exp_block(1), 4U);
+  // Each extra element adds one II cycle.
+  EXPECT_EQ(t.exp_block(10), 13U);
+}
+
+TEST(Timing, DivBlockUsesInitiationInterval) {
+  DatapathTiming t;
+  t.div_latency = 12;
+  t.div_ii = 4;
+  EXPECT_EQ(t.div_block(0), 0U);
+  EXPECT_EQ(t.div_block(1), 13U);
+  EXPECT_EQ(t.div_block(5), 4U * 4U + 13U);
+}
+
+}  // namespace
+}  // namespace mann::sim
