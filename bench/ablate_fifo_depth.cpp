@@ -13,8 +13,9 @@ int main() {
   const runtime::TaskArtifacts& art = suite.front();  // qa1
 
   bench::print_header("Ablation: FIFO depth (qa1, 200 stories, 100 MHz)");
-  std::printf("%-8s %14s %16s %16s %14s\n", "depth", "cycles",
-              "link rejects", "max occupancy", "prediction ok");
+  std::printf("%-8s %14s %16s %16s %16s %14s\n", "depth", "cycles",
+              "link rejects", "total rejects", "max occupancy",
+              "prediction ok");
   bench::print_rule();
 
   const accel::DeviceProgram prog = accel::compile_model(art.model);
@@ -34,11 +35,15 @@ int main() {
     for (std::size_t i = 0; i < run.stories.size(); ++i) {
       same &= run.stories[i].prediction == reference[i];
     }
-    std::printf("%-8zu %14llu %16llu %16zu %14s\n", depth,
+    // Aggregate host-facing queue stats: the same code path the serving
+    // metrics fold into their ServingReport.
+    const sim::FifoStats queues = run.queue_stats();
+    std::printf("%-8zu %14llu %16llu %16llu %16zu %14s\n", depth,
                 static_cast<unsigned long long>(run.total_cycles),
                 static_cast<unsigned long long>(
                     run.fifo_in_stats.full_rejects),
-                run.fifo_in_stats.max_occupancy, same ? "yes" : "NO");
+                static_cast<unsigned long long>(queues.full_rejects),
+                queues.max_occupancy, same ? "yes" : "NO");
   }
   std::printf(
       "\nexpected shape: results are depth-independent (back-pressure is "

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# clang-format over the project sources (in place).
+#
+#   scripts/format.sh          format src/ tests/ bench/ examples/ tools/
+#   scripts/format.sh --check  fail (non-zero) if anything would change
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "error: clang-format not found on PATH" >&2
+  exit 1
+fi
+
+mode=(-i)
+if [[ "${1:-}" == "--check" ]]; then
+  mode=(--dry-run --Werror)
+fi
+
+find src tests bench examples tools \
+  \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+  xargs -0 clang-format "${mode[@]}"

@@ -47,16 +47,30 @@ Accelerator::Accelerator(AccelConfig config, DeviceProgram program)
   }
 }
 
-RunResult Accelerator::run(
-    std::span<const data::EncodedStory> stories) const {
+sim::FifoStats RunResult::queue_stats() const noexcept {
+  sim::FifoStats combined = fifo_in_stats;
+  combined += fifo_out_stats;
+  return combined;
+}
+
+RunResult Accelerator::run(std::span<const data::EncodedStory> stories,
+                           const RunOptions& options) const {
   AcceleratorState state(program_);
+  if (options.model_resident) {
+    // Warm device: BRAM already holds this program; the stream carries no
+    // model words and CONTROL must accept stories immediately.
+    state.model_words_seen = program_.model_words();
+    state.model_loaded = true;
+  }
   sim::Fifo<StreamWord> fifo_in("FIFO_IN", config_.fifo_depth);
   sim::Fifo<std::int32_t> fifo_out("FIFO_OUT", config_.fifo_depth);
   sim::Fifo<InputCmd> cmd_fifo("CMD_FIFO", config_.fifo_depth);
 
-  HostLinkModule host(config_, encode_workload(program_.model_words(),
-                                               stories),
-                      fifo_in, fifo_out);
+  HostLinkModule host(
+      config_,
+      encode_workload(options.model_resident ? 0 : program_.model_words(),
+                      stories),
+      fifo_in, fifo_out);
   ControlModule control(state, fifo_in, cmd_fifo);
   InputWriteModule input_write(state, config_, cmd_fifo);
   MemModule mem(state, config_);

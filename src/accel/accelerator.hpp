@@ -45,11 +45,27 @@ struct RunResult {
   [[nodiscard]] double early_exit_rate() const noexcept;
   /// Mean output probes per story.
   [[nodiscard]] double mean_output_probes() const noexcept;
+  /// Aggregate host-facing queue stats (FIFO_IN + FIFO_OUT) — the same
+  /// FifoStats code path the serving metrics and the fifo-depth ablation
+  /// introspect.
+  [[nodiscard]] sim::FifoStats queue_stats() const noexcept;
 };
 
-/// The device. Stateless between run() calls (each run models a fresh
-/// power-on: model upload + inference stream, matching the paper's
-/// measurement protocol which includes model transmission).
+/// Per-run options.
+struct RunOptions {
+  /// The trained model is already resident in device BRAM (a previous
+  /// run() uploaded it), so the model-load phase of the stream is
+  /// skipped. The serving runtime uses this to amortise the upload
+  /// across batches dispatched to a warm device; the default models a
+  /// fresh power-on (model upload + inference stream, the paper's
+  /// measurement protocol, which includes model transmission).
+  bool model_resident = false;
+};
+
+/// The device. Holds no mutable state between run() calls — warm-device
+/// behaviour is expressed per run via RunOptions::model_resident, so the
+/// same instance can serve many batches (the serving scheduler tracks
+/// which program each pool device last uploaded).
 class Accelerator {
  public:
   Accelerator(AccelConfig config, DeviceProgram program);
@@ -60,8 +76,8 @@ class Accelerator {
   }
 
   /// Streams `stories` through the device and returns the full report.
-  [[nodiscard]] RunResult run(
-      std::span<const data::EncodedStory> stories) const;
+  [[nodiscard]] RunResult run(std::span<const data::EncodedStory> stories,
+                              const RunOptions& options = {}) const;
 
  private:
   AccelConfig config_;

@@ -181,4 +181,44 @@ MeasurementRow measure_fpga(const TaskArtifacts& artifacts,
   return row;
 }
 
+ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
+                                   const ServingOptions& options) {
+  if (suite.empty()) {
+    throw std::invalid_argument("measure_serving: empty suite");
+  }
+
+  std::vector<serve::ServedModel> models;
+  models.reserve(suite.size());
+  for (const TaskArtifacts& art : suite) {
+    serve::ServedModel model;
+    model.program =
+        accel::compile_model(art.model, options.ith ? &art.ith : nullptr);
+    model.stories = art.dataset.test;
+    models.push_back(std::move(model));
+  }
+
+  serve::ServerConfig config;
+  config.accel.clock_hz = options.clock_hz;
+  config.accel.ith_enabled = options.ith;
+  config.traffic.process = options.process;
+  config.traffic.mean_interarrival_cycles = options.mean_interarrival_cycles;
+  config.traffic.seed = options.seed;
+  config.batcher.max_batch = options.max_batch;
+  config.batcher.max_wait_cycles = options.max_wait_cycles;
+  config.scheduler.devices = options.pool_devices;
+  config.scheduler.dedicated_devices = options.dedicated_devices;
+
+  const serve::Server server(config, std::move(models));
+
+  ServingMeasurement measurement;
+  measurement.config_name =
+      "serve N=" + std::to_string(options.pool_devices) +
+      " B=" + std::to_string(options.max_batch) + " ia=" +
+      std::to_string(static_cast<long long>(
+          options.mean_interarrival_cycles)) +
+      "cy" + (options.ith ? " + ITH" : "");
+  measurement.report = server.run(options.requests);
+  return measurement;
+}
+
 }  // namespace mann::runtime

@@ -14,6 +14,7 @@
 #include "model/trainer.hpp"
 #include "power/power_model.hpp"
 #include "runtime/baseline.hpp"
+#include "serve/server.hpp"
 
 namespace mann::runtime {
 
@@ -87,5 +88,31 @@ struct FpgaRunOptions {
 [[nodiscard]] MeasurementRow measure_fpga(
     const TaskArtifacts& artifacts, const FpgaRunOptions& options,
     const power::FpgaPowerConfig& power_config = {});
+
+/// Serving measurement options: the mann::serve runtime over a set of
+/// prepared tasks (each task is one served model; traffic mixes them).
+struct ServingOptions {
+  double clock_hz = 100.0e6;
+  std::size_t pool_devices = 2;
+  std::size_t dedicated_devices = 0;  ///< 0 = fully shared pool
+  std::size_t max_batch = 8;
+  sim::Cycle max_wait_cycles = 200'000;
+  serve::ArrivalProcess process = serve::ArrivalProcess::kPoisson;
+  double mean_interarrival_cycles = 50'000.0;
+  std::size_t requests = 500;
+  std::uint64_t seed = 2019;
+  bool ith = false;
+};
+
+/// One serving row (sits beside the Table-I rows in reports).
+struct ServingMeasurement {
+  std::string config_name;
+  serve::ServingReport report;
+};
+
+/// Runs the serving stack over the suite's test splits and reports
+/// throughput, latency percentiles, utilization and serving accuracy.
+[[nodiscard]] ServingMeasurement measure_serving(
+    const std::vector<TaskArtifacts>& suite, const ServingOptions& options);
 
 }  // namespace mann::runtime

@@ -1,0 +1,120 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mann::serve {
+
+Batcher::Batcher(BatcherConfig config, std::size_t num_tasks)
+    : config_(config) {
+  if (num_tasks == 0) {
+    throw std::invalid_argument("Batcher: need at least one task");
+  }
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("Batcher: max_batch must be > 0");
+  }
+  queues_.reserve(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    queues_.emplace_back("BATCH_Q" + std::to_string(t),
+                         config_.queue_capacity);
+  }
+}
+
+bool Batcher::enqueue(const InferenceRequest& request) {
+  if (request.task >= queues_.size()) {
+    throw std::out_of_range("Batcher: unknown task id");
+  }
+  if (request.story == nullptr) {
+    throw std::invalid_argument("Batcher: request without a story");
+  }
+  if (!queues_[request.task].try_push(request)) {
+    ++counters_.requests_rejected;
+    return false;
+  }
+  ++counters_.requests_in;
+  return true;
+}
+
+std::optional<Batch> Batcher::poll(sim::Cycle now) {
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t task = (rotate_ + i) % n;
+    const sim::Fifo<InferenceRequest>& q = queues_[task];
+    const InferenceRequest* head = q.peek();
+    if (head == nullptr) {
+      continue;
+    }
+    const bool full = q.size() >= config_.max_batch;
+    const bool timed_out =
+        now - head->enqueue_cycle >= config_.max_wait_cycles;
+    if (!full && !timed_out) {
+      continue;
+    }
+    full ? ++counters_.flush_full : ++counters_.flush_timeout;
+    rotate_ = (task + 1) % n;  // next poll starts after the flushed task
+    return flush_task(task, now);
+  }
+  return std::nullopt;
+}
+
+std::optional<Batch> Batcher::drain(sim::Cycle now) {
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t task = (rotate_ + i) % n;
+    if (queues_[task].empty()) {
+      continue;
+    }
+    ++counters_.flush_drain;
+    rotate_ = (task + 1) % n;
+    return flush_task(task, now);
+  }
+  return std::nullopt;
+}
+
+std::size_t Batcher::pending() const noexcept {
+  std::size_t total = 0;
+  for (const auto& q : queues_) {
+    total += q.size();
+  }
+  return total;
+}
+
+sim::Cycle Batcher::next_deadline() const noexcept {
+  sim::Cycle deadline = sim::kNever;
+  for (const auto& q : queues_) {
+    const InferenceRequest* head = q.peek();
+    if (head != nullptr) {
+      deadline =
+          std::min(deadline, head->enqueue_cycle + config_.max_wait_cycles);
+    }
+  }
+  return deadline;
+}
+
+sim::FifoStats Batcher::queue_stats() const noexcept {
+  sim::FifoStats combined;
+  for (const auto& q : queues_) {
+    combined += q.stats();
+  }
+  return combined;
+}
+
+Batch Batcher::flush_task(std::size_t task, sim::Cycle /*now*/) {
+  sim::Fifo<InferenceRequest>& q = queues_[task];
+  Batch batch;
+  batch.task = task;
+  const std::size_t take = std::min(q.size(), config_.max_batch);
+  batch.requests.reserve(take);
+  batch.stories.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    InferenceRequest request = *q.try_pop();
+    batch.stories.push_back(*request.story);
+    batch.requests.push_back(request);
+  }
+  ++counters_.batches_out;
+  counters_.stories_out += batch.size();
+  return batch;
+}
+
+}  // namespace mann::serve

@@ -1,0 +1,95 @@
+// Dynamic batcher: coalesces same-task requests into device batches.
+//
+// A device runs one task's program at a time, so batching is per task:
+// each task owns a bounded pending queue (a sim::Fifo, so queue pressure
+// is observable through the same FifoStats code path as the device
+// FIFOs). A task's queue is flushed into a Batch when it reaches
+// max_batch requests (flush-on-full) or when its oldest request has
+// waited max_wait_cycles (flush-on-timeout) — the classic
+// throughput/latency trade every serving stack exposes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/types.hpp"
+#include "serve/request.hpp"
+#include "sim/fifo.hpp"
+#include "sim/types.hpp"
+
+namespace mann::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch = 8;
+  sim::Cycle max_wait_cycles = 200'000;
+  /// Per-task pending-queue bound; enqueue() rejects beyond it (open-loop
+  /// overload shedding, surfaced as FifoStats::full_rejects).
+  std::size_t queue_capacity = 4096;
+};
+
+/// A flushed unit of work: same-task requests plus their stories laid out
+/// contiguously for Accelerator::run().
+struct Batch {
+  std::size_t task = 0;
+  std::vector<InferenceRequest> requests;
+  std::vector<data::EncodedStory> stories;  ///< parallel to requests
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
+};
+
+/// Why batches left the batcher, for the batching-efficiency report.
+struct BatcherCounters {
+  std::uint64_t requests_in = 0;
+  std::uint64_t requests_rejected = 0;  ///< pending queue was full
+  std::uint64_t batches_out = 0;
+  std::uint64_t stories_out = 0;
+  std::uint64_t flush_full = 0;     ///< queue reached max_batch
+  std::uint64_t flush_timeout = 0;  ///< oldest request aged out
+  std::uint64_t flush_drain = 0;    ///< forced out by drain()
+};
+
+class Batcher {
+ public:
+  Batcher(BatcherConfig config, std::size_t num_tasks);
+
+  [[nodiscard]] const BatcherConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Admits a request to its task's pending queue; false when that queue
+  /// is full (the request is shed, counted in requests_rejected).
+  [[nodiscard]] bool enqueue(const InferenceRequest& request);
+
+  /// Returns the next ready batch (full or timed out) at `now`, fairly
+  /// rotating across tasks; nullopt when nothing is ready.
+  [[nodiscard]] std::optional<Batch> poll(sim::Cycle now);
+
+  /// Flushes pending requests regardless of age/size — the end-of-stream
+  /// drain once the traffic source is exhausted.
+  [[nodiscard]] std::optional<Batch> drain(sim::Cycle now);
+
+  [[nodiscard]] std::size_t pending() const noexcept;
+
+  /// Earliest cycle at which a timeout flush could fire; sim::kNever when
+  /// nothing is pending. Drives event-skipping in the serving loop.
+  [[nodiscard]] sim::Cycle next_deadline() const noexcept;
+
+  [[nodiscard]] const BatcherCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Aggregate FifoStats over every per-task pending queue (one code path
+  /// with the device FIFO reports).
+  [[nodiscard]] sim::FifoStats queue_stats() const noexcept;
+
+ private:
+  [[nodiscard]] Batch flush_task(std::size_t task, sim::Cycle now);
+
+  BatcherConfig config_;
+  std::vector<sim::Fifo<InferenceRequest>> queues_;  ///< one per task
+  std::size_t rotate_ = 0;  ///< fairness cursor over tasks
+  BatcherCounters counters_;
+};
+
+}  // namespace mann::serve

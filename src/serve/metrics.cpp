@@ -1,0 +1,108 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mann::serve {
+
+namespace {
+
+LatencySummary summarize(const numeric::Histogram& hist, double clock_hz) {
+  LatencySummary s;
+  const std::span<const float> samples = hist.samples();
+  if (samples.empty()) {
+    return s;
+  }
+  // One sorted copy serves every quantile (nearest-rank) and the max.
+  std::vector<float> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto percentile = [&sorted](double q) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    return static_cast<double>(
+        sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)]);
+  };
+  s.mean_cycles = hist.mean();
+  s.p50_cycles = percentile(0.50);
+  s.p95_cycles = percentile(0.95);
+  s.p99_cycles = percentile(0.99);
+  s.max_cycles = sorted.back();
+  s.mean_seconds = s.mean_cycles / clock_hz;
+  s.p50_seconds = s.p50_cycles / clock_hz;
+  s.p95_seconds = s.p95_cycles / clock_hz;
+  s.p99_seconds = s.p99_cycles / clock_hz;
+  s.max_seconds = s.max_cycles / clock_hz;
+  return s;
+}
+
+}  // namespace
+
+ServingMetrics::ServingMetrics(double clock_hz, std::size_t histogram_bins,
+                               double histogram_hi_cycles)
+    : clock_hz_(clock_hz),
+      latency_(0.0F, static_cast<float>(histogram_hi_cycles), histogram_bins),
+      queue_wait_(0.0F, static_cast<float>(histogram_hi_cycles),
+                  histogram_bins) {
+  if (clock_hz <= 0.0) {
+    throw std::invalid_argument("ServingMetrics: clock must be positive");
+  }
+}
+
+void ServingMetrics::record(const InferenceResponse& response) {
+  ++completed_;
+  correct_ += response.prediction == response.answer ? 1 : 0;
+  early_exits_ += response.early_exit ? 1 : 0;
+  batch_size_sum_ += response.batch_size;
+  latency_.add(static_cast<float>(response.latency_cycles()));
+  queue_wait_.add(static_cast<float>(response.queue_cycles()));
+}
+
+ServingReport ServingMetrics::finalize(
+    std::size_t offered, std::size_t rejected, sim::Cycle makespan,
+    std::size_t max_batch, const BatcherCounters& batching,
+    sim::FifoStats queue_stats, std::vector<DeviceReport> devices,
+    std::uint64_t model_uploads) const {
+  ServingReport report;
+  report.offered = offered;
+  report.completed = completed_;
+  report.rejected = rejected;
+  report.makespan_cycles = makespan;
+  report.seconds = static_cast<double>(makespan) / clock_hz_;
+  if (report.seconds > 0.0) {
+    report.throughput_stories_per_second =
+        static_cast<double>(completed_) / report.seconds;
+    report.offered_stories_per_second =
+        static_cast<double>(offered) / report.seconds;
+  }
+  if (completed_ > 0) {
+    report.accuracy =
+        static_cast<double>(correct_) / static_cast<double>(completed_);
+    report.early_exit_rate =
+        static_cast<double>(early_exits_) / static_cast<double>(completed_);
+    report.mean_batch_size = static_cast<double>(batch_size_sum_) /
+                             static_cast<double>(completed_);
+  }
+  if (max_batch > 0) {
+    report.batching_efficiency =
+        report.mean_batch_size / static_cast<double>(max_batch);
+  }
+  report.latency = summarize(latency_, clock_hz_);
+  report.queue_wait = summarize(queue_wait_, clock_hz_);
+  report.batching = batching;
+  report.queue_stats = queue_stats;
+  report.devices = std::move(devices);
+  report.model_uploads = model_uploads;
+  if (makespan > 0 && !report.devices.empty()) {
+    double utilization = 0.0;
+    for (const DeviceReport& d : report.devices) {
+      utilization += static_cast<double>(d.busy_cycles) /
+                     static_cast<double>(makespan);
+    }
+    report.mean_device_utilization =
+        utilization / static_cast<double>(report.devices.size());
+  }
+  return report;
+}
+
+}  // namespace mann::serve

@@ -1,0 +1,100 @@
+// Serving metrics: latency distribution, throughput, utilization and
+// batching efficiency, accumulated per response and folded into one
+// ServingReport at the end of a run.
+//
+// Latencies are accumulated in a numeric::Histogram (which retains raw
+// samples), so the report carries both exact percentiles and a binned
+// distribution without a second pass over the responses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/histogram.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/fifo.hpp"
+#include "sim/types.hpp"
+
+namespace mann::serve {
+
+/// Percentile summary of one latency population, in cycles and seconds.
+struct LatencySummary {
+  double mean_cycles = 0.0;
+  double p50_cycles = 0.0;
+  double p95_cycles = 0.0;
+  double p99_cycles = 0.0;
+  double max_cycles = 0.0;
+  double mean_seconds = 0.0;
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Everything a serving experiment reports.
+struct ServingReport {
+  std::size_t offered = 0;    ///< requests emitted by the generator
+  std::size_t completed = 0;  ///< responses observed at the host
+  std::size_t rejected = 0;   ///< shed at the batcher (overload)
+  sim::Cycle makespan_cycles = 0;
+  double seconds = 0.0;  ///< makespan at the configured clock
+  double throughput_stories_per_second = 0.0;
+  double offered_stories_per_second = 0.0;
+  double accuracy = 0.0;
+  double early_exit_rate = 0.0;
+
+  LatencySummary latency;     ///< enqueue -> answer visible
+  LatencySummary queue_wait;  ///< enqueue -> batch dispatched
+
+  double mean_batch_size = 0.0;
+  double batching_efficiency = 0.0;  ///< mean batch / max_batch
+  double mean_device_utilization = 0.0;
+  std::uint64_t model_uploads = 0;
+
+  BatcherCounters batching;
+  std::vector<DeviceReport> devices;
+  /// One FifoStats over every queue in the stack: per-task batch queues,
+  /// the scheduler's pending queue, and the devices' host FIFOs.
+  sim::FifoStats queue_stats;
+};
+
+class ServingMetrics {
+ public:
+  /// `histogram_hi_cycles` bounds the binned latency view (samples beyond
+  /// it clamp into the top bin; percentiles stay exact via raw samples).
+  ServingMetrics(double clock_hz, std::size_t histogram_bins = 64,
+                 double histogram_hi_cycles = 50.0e6);
+
+  void record(const InferenceResponse& response);
+
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+
+  /// Binned end-to-end latency distribution (cycles).
+  [[nodiscard]] const numeric::Histogram& latency_histogram() const noexcept {
+    return latency_;
+  }
+
+  /// Folds accumulated observations plus the component counters into the
+  /// final report. `makespan` is the serving clock at the last completion.
+  [[nodiscard]] ServingReport finalize(std::size_t offered,
+                                       std::size_t rejected,
+                                       sim::Cycle makespan,
+                                       std::size_t max_batch,
+                                       const BatcherCounters& batching,
+                                       sim::FifoStats queue_stats,
+                                       std::vector<DeviceReport> devices,
+                                       std::uint64_t model_uploads) const;
+
+ private:
+  double clock_hz_;
+  std::size_t completed_ = 0;
+  std::size_t correct_ = 0;
+  std::size_t early_exits_ = 0;
+  std::uint64_t batch_size_sum_ = 0;
+  numeric::Histogram latency_;
+  numeric::Histogram queue_wait_;
+};
+
+}  // namespace mann::serve

@@ -1,0 +1,104 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mann::serve {
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config,
+                                   std::vector<TaskWorkload> workloads,
+                                   std::size_t total_requests)
+    : config_(config), workloads_(std::move(workloads)),
+      total_(total_requests), cursors_(workloads_.size(), 0),
+      rng_(config.seed) {
+  if (workloads_.empty()) {
+    throw std::invalid_argument("TrafficGenerator: no workloads");
+  }
+  for (const TaskWorkload& w : workloads_) {
+    if (w.stories.empty()) {
+      throw std::invalid_argument("TrafficGenerator: empty task corpus");
+    }
+  }
+  if (config_.mean_interarrival_cycles <= 0.0) {
+    throw std::invalid_argument(
+        "TrafficGenerator: mean interarrival must be positive");
+  }
+  if (config_.process == ArrivalProcess::kBursty) {
+    if (config_.burst_mean < 1.0) {
+      throw std::invalid_argument("TrafficGenerator: burst_mean must be >= 1");
+    }
+    // The inter-burst gap absorbs what the intra-burst gaps undershoot so
+    // the long-run rate matches mean_interarrival_cycles; that only works
+    // when the intra-burst gaps don't already exceed the budget.
+    if (config_.burst_mean * config_.mean_interarrival_cycles <=
+        (config_.burst_mean - 1.0) * config_.burst_gap_cycles) {
+      throw std::invalid_argument(
+          "TrafficGenerator: burst_gap_cycles too large to honour "
+          "mean_interarrival_cycles at this burst_mean");
+    }
+  }
+  // The first arrival is drawn like every later one (no artificial
+  // request at cycle 0).
+  schedule_next();
+}
+
+std::optional<InferenceRequest> TrafficGenerator::poll(sim::Cycle now) {
+  if (exhausted() || next_cycle_ > now) {
+    return std::nullopt;
+  }
+  const std::size_t task_slot = rng_.index(workloads_.size());
+  const TaskWorkload& workload = workloads_[task_slot];
+  std::size_t& cursor = cursors_[task_slot];
+  InferenceRequest request;
+  request.id = emitted_;
+  request.task = workload.task;
+  request.story = &workload.stories[cursor];
+  request.enqueue_cycle = next_cycle_;
+  cursor = (cursor + 1) % workload.stories.size();
+  ++emitted_;
+  if (!exhausted()) {
+    schedule_next();
+  }
+  return request;
+}
+
+void TrafficGenerator::schedule_next() {
+  // Inverse-CDF exponential; uniform() < 1 keeps the log argument positive.
+  const auto exponential = [this](double mean) {
+    return -mean * std::log(1.0 - rng_.uniform());
+  };
+
+  double gap = 0.0;
+  switch (config_.process) {
+    case ArrivalProcess::kPoisson:
+      gap = exponential(config_.mean_interarrival_cycles);
+      break;
+    case ArrivalProcess::kBursty: {
+      if (burst_left_ > 0) {
+        --burst_left_;
+        gap = config_.burst_gap_cycles;
+        break;
+      }
+      // New burst: geometric length with the configured mean, then an
+      // inter-burst gap sized so that the long-run rate still matches
+      // mean_interarrival_cycles.
+      std::size_t length = 1;
+      while (config_.burst_mean > 1.0 &&
+             rng_.uniform() < 1.0 - 1.0 / config_.burst_mean) {
+        ++length;
+      }
+      burst_left_ = length - 1;
+      // Positive by the constructor's rate-budget check.
+      const double inter_burst_mean =
+          config_.burst_mean * config_.mean_interarrival_cycles -
+          (config_.burst_mean - 1.0) * config_.burst_gap_cycles;
+      gap = exponential(inter_burst_mean);
+      break;
+    }
+  }
+
+  arrival_clock_ += std::max(1.0, gap);
+  next_cycle_ = static_cast<sim::Cycle>(std::llround(arrival_clock_));
+}
+
+}  // namespace mann::serve

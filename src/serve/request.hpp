@@ -1,0 +1,113 @@
+// Serving-layer request/response types and the open-loop traffic source.
+//
+// The seed measures one task's test split as a single batch (the paper's
+// protocol); mann::serve turns that into a runtime serving many concurrent
+// users. An InferenceRequest is one user question against one task's
+// model; the TrafficGenerator emits a deterministic arrival schedule over
+// a fixed request corpus so every serving experiment is exactly
+// reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "data/types.hpp"
+#include "numeric/random.hpp"
+#include "sim/types.hpp"
+
+namespace mann::serve {
+
+using RequestId = std::uint64_t;
+
+/// One in-flight user question. The story is non-owning: the serving
+/// corpus (per-task test splits) outlives every request.
+struct InferenceRequest {
+  RequestId id = 0;
+  std::size_t task = 0;  ///< index into the server's model registry
+  const data::EncodedStory* story = nullptr;
+  sim::Cycle enqueue_cycle = 0;  ///< arrival at the serving frontend
+};
+
+/// One answered question, with the full timestamp trail for latency
+/// accounting (all cycles are on the shared serving clock).
+struct InferenceResponse {
+  RequestId id = 0;
+  std::size_t task = 0;
+  std::size_t device = 0;       ///< pool device that served it
+  std::size_t batch_size = 0;   ///< size of the batch it rode in
+  std::int32_t prediction = -1;
+  std::int32_t answer = -1;     ///< ground truth, for serving accuracy
+  bool early_exit = false;
+  sim::Cycle enqueue_cycle = 0;
+  sim::Cycle dispatch_cycle = 0;  ///< batch handed to a device
+  sim::Cycle complete_cycle = 0;  ///< answer visible at the host
+
+  [[nodiscard]] sim::Cycle queue_cycles() const noexcept {
+    return dispatch_cycle - enqueue_cycle;
+  }
+  [[nodiscard]] sim::Cycle latency_cycles() const noexcept {
+    return complete_cycle - enqueue_cycle;
+  }
+};
+
+/// Arrival process shapes for the open-loop generator.
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,  ///< memoryless arrivals at the configured mean rate
+  kBursty,   ///< geometric bursts with tight intra-burst spacing
+};
+
+struct TrafficConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Long-run mean gap between arrivals, in device cycles. Both processes
+  /// honour this, so sweeps compare equal offered load.
+  double mean_interarrival_cycles = 50'000.0;
+  /// Bursty only: mean burst length (geometric) and the fixed gap between
+  /// requests inside a burst.
+  double burst_mean = 8.0;
+  double burst_gap_cycles = 64.0;
+  std::uint64_t seed = 2019;
+};
+
+/// One task's servable corpus (non-owning view of its encoded stories).
+struct TaskWorkload {
+  std::size_t task = 0;
+  std::span<const data::EncodedStory> stories;
+};
+
+/// Deterministic open-loop arrival source: draws tasks uniformly at
+/// random (seeded), walks each task's corpus round-robin, and spaces
+/// arrivals by the configured process. Exhausted after `total_requests`.
+class TrafficGenerator {
+ public:
+  TrafficGenerator(TrafficConfig config, std::vector<TaskWorkload> workloads,
+                   std::size_t total_requests);
+
+  [[nodiscard]] std::size_t total_requests() const noexcept { return total_; }
+  [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] bool exhausted() const noexcept { return emitted_ >= total_; }
+
+  /// Arrival cycle of the next request; sim::kNever once exhausted.
+  [[nodiscard]] sim::Cycle next_arrival() const noexcept {
+    return exhausted() ? sim::kNever : next_cycle_;
+  }
+
+  /// Emits the next request if its arrival time has come.
+  [[nodiscard]] std::optional<InferenceRequest> poll(sim::Cycle now);
+
+ private:
+  void schedule_next();
+
+  TrafficConfig config_;
+  std::vector<TaskWorkload> workloads_;
+  std::size_t total_;
+  std::size_t emitted_ = 0;
+  std::vector<std::size_t> cursors_;  ///< per-task round-robin position
+  numeric::Rng rng_;
+  double arrival_clock_ = 0.0;  ///< exact (fractional) arrival time
+  sim::Cycle next_cycle_ = 0;
+  std::size_t burst_left_ = 0;  ///< bursty: requests left in this burst
+};
+
+}  // namespace mann::serve

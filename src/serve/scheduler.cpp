@@ -1,0 +1,165 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mann::serve {
+
+Scheduler::Scheduler(SchedulerConfig config,
+                     std::vector<accel::Accelerator> task_devices)
+    : config_(config), task_devices_(std::move(task_devices)),
+      pending_("SCHED_Q", config.queue_capacity == 0 ? 1
+                                                     : config.queue_capacity) {
+  if (config_.devices == 0) {
+    throw std::invalid_argument("Scheduler: need at least one device");
+  }
+  if (task_devices_.empty()) {
+    throw std::invalid_argument("Scheduler: no task programs");
+  }
+  config_.dedicated_devices =
+      std::min(config_.dedicated_devices, config_.devices);
+  slots_.resize(config_.devices);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].id = i;
+  }
+}
+
+bool Scheduler::submit(Batch batch) {
+  if (batch.task >= task_devices_.size()) {
+    throw std::out_of_range("Scheduler: unknown task id");
+  }
+  if (batch.requests.empty()) {
+    throw std::invalid_argument("Scheduler: empty batch");
+  }
+  return pending_.try_push(std::move(batch));
+}
+
+void Scheduler::step(sim::Cycle now) {
+  while (const Batch* head = pending_.peek()) {
+    Slot* slot = pick_slot(head->task, now);
+    if (slot == nullptr) {
+      return;  // head-of-line batch waits; nothing behind it jumps ahead
+    }
+    const Batch batch = *pending_.try_pop();
+    dispatch(*slot, batch, now);
+  }
+}
+
+Scheduler::Slot* Scheduler::pick_slot(std::size_t task, sim::Cycle now) {
+  // Home slot first: per-task sharding keeps a task's program warm.
+  if (config_.dedicated_devices > 0) {
+    Slot& home = slots_[task % config_.dedicated_devices];
+    if (home.free(now)) {
+      return &home;
+    }
+  }
+  // Overflow pool: prefer a warm slot (program already resident), then
+  // the lowest-numbered free one (deterministic tie-break).
+  Slot* fallback = nullptr;
+  for (std::size_t i = config_.dedicated_devices; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (!slot.free(now)) {
+      continue;
+    }
+    if (slot.resident_task == task) {
+      return &slot;
+    }
+    if (fallback == nullptr) {
+      fallback = &slot;
+    }
+  }
+  return fallback;
+}
+
+void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now) {
+  const bool warm = slot.resident_task == batch.task;
+  accel::RunOptions options;
+  options.model_resident = warm;
+  const accel::RunResult run =
+      task_devices_[batch.task].run(batch.stories, options);
+
+  slot.resident_task = batch.task;
+  slot.busy_until = now + run.total_cycles;
+  slot.busy_cycles += run.total_cycles;
+  ++slot.batches;
+  slot.stories += batch.size();
+  slot.model_uploads += warm ? 0 : 1;
+  device_queue_stats_ += run.queue_stats();
+
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const InferenceRequest& request = batch.requests[i];
+    InferenceResponse response;
+    response.id = request.id;
+    response.task = request.task;
+    response.device = slot.id;
+    response.batch_size = batch.size();
+    response.prediction = run.stories[i].prediction;
+    response.answer = batch.stories[i].answer;
+    response.early_exit = run.stories[i].early_exit;
+    response.enqueue_cycle = request.enqueue_cycle;
+    response.dispatch_cycle = now;
+    // finish_cycle is relative to the batch's own run; rebased onto the
+    // serving clock it gives per-story completion inside the batch.
+    response.complete_cycle = now + run.stories[i].finish_cycle;
+    in_flight_.push_back(response);
+  }
+}
+
+std::vector<InferenceResponse> Scheduler::collect(sim::Cycle now) {
+  // Single linear pass: keep not-yet-complete responses in place (order
+  // preserved), move the completed tail out.
+  const auto first_done = std::stable_partition(
+      in_flight_.begin(), in_flight_.end(),
+      [now](const InferenceResponse& r) { return r.complete_cycle > now; });
+  std::vector<InferenceResponse> done(
+      std::make_move_iterator(first_done),
+      std::make_move_iterator(in_flight_.end()));
+  in_flight_.erase(first_done, in_flight_.end());
+  return done;
+}
+
+sim::Cycle Scheduler::next_completion() const noexcept {
+  sim::Cycle next = sim::kNever;
+  for (const InferenceResponse& r : in_flight_) {
+    next = std::min(next, r.complete_cycle);
+  }
+  return next;
+}
+
+sim::Cycle Scheduler::next_slot_free(sim::Cycle now) const noexcept {
+  sim::Cycle next = sim::kNever;
+  for (const Slot& slot : slots_) {
+    // Already-free slots must not report a stale past busy_until: that
+    // would veto every event skip while a batch waits on a busy slot.
+    if (slot.busy_until > now) {
+      next = std::min(next, slot.busy_until);
+    }
+  }
+  return next;
+}
+
+std::vector<DeviceReport> Scheduler::device_reports() const {
+  std::vector<DeviceReport> reports;
+  reports.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    DeviceReport report;
+    report.id = slot.id;
+    report.resident_task = slot.resident_task;
+    report.busy_cycles = slot.busy_cycles;
+    report.batches = slot.batches;
+    report.stories = slot.stories;
+    report.model_uploads = slot.model_uploads;
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+std::uint64_t Scheduler::total_model_uploads() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.model_uploads;
+  }
+  return total;
+}
+
+}  // namespace mann::serve

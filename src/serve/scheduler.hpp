@@ -1,0 +1,131 @@
+// Batch scheduler over a pool of accelerator devices.
+//
+// Each served task has one compiled Accelerator (config + device
+// program); the pool is N device *slots*, each remembering which task's
+// program its BRAM currently holds. Dispatching a batch to a slot whose
+// resident program differs re-pays the model upload (a cold run);
+// dispatching to a warm slot uses RunOptions::model_resident and skips
+// it. Placement is per-task sharding over the first `dedicated_devices`
+// slots (home = task % dedicated) with the remaining slots forming a
+// shared overflow pool that absorbs bursts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request.hpp"
+#include "sim/fifo.hpp"
+#include "sim/types.hpp"
+
+namespace mann::serve {
+
+struct SchedulerConfig {
+  std::size_t devices = 2;
+  /// First `dedicated_devices` slots are sharded by task id; the rest
+  /// are the shared overflow pool. 0 means the whole pool is shared.
+  /// Clamped to `devices`.
+  std::size_t dedicated_devices = 0;
+  /// Pending-batch queue bound (submit() rejects beyond it).
+  std::size_t queue_capacity = 1024;
+};
+
+/// Per-slot utilization report.
+struct DeviceReport {
+  std::size_t id = 0;
+  std::optional<std::size_t> resident_task;  ///< program left in BRAM
+  sim::Cycle busy_cycles = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t stories = 0;
+  std::uint64_t model_uploads = 0;  ///< cold dispatches (upload re-paid)
+};
+
+class Scheduler {
+ public:
+  /// `task_devices[t]` is the compiled accelerator for task t. All pool
+  /// slots share these immutable program images; residency is per slot.
+  Scheduler(SchedulerConfig config,
+            std::vector<accel::Accelerator> task_devices);
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Queues a batch for dispatch; false when the pending queue is full.
+  [[nodiscard]] bool submit(Batch batch);
+
+  [[nodiscard]] bool has_capacity() const noexcept {
+    return !pending_.full();
+  }
+
+  /// Assigns pending batches to free device slots at `now`. Head-of-line
+  /// order: the front batch waits for a suitable slot before anything
+  /// behind it dispatches (deterministic, starvation-free).
+  void step(sim::Cycle now);
+
+  /// Moves out every response whose completion time has been reached.
+  [[nodiscard]] std::vector<InferenceResponse> collect(sim::Cycle now);
+
+  [[nodiscard]] std::size_t pending_batches() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.size();
+  }
+  [[nodiscard]] bool idle() const noexcept {
+    return pending_.empty() && in_flight_.empty();
+  }
+
+  /// Earliest in-flight completion; sim::kNever when nothing is running.
+  [[nodiscard]] sim::Cycle next_completion() const noexcept;
+
+  /// Earliest cycle after `now` at which a busy slot frees; sim::kNever
+  /// when no slot is busy at `now`. With batches pending this bounds
+  /// the next dispatch opportunity (event-skipping horizon).
+  [[nodiscard]] sim::Cycle next_slot_free(sim::Cycle now) const noexcept;
+
+  [[nodiscard]] std::vector<DeviceReport> device_reports() const;
+
+  /// Pending-batch queue stats (same FifoStats code path as everything
+  /// else in the system).
+  [[nodiscard]] const sim::FifoStats& queue_stats() const noexcept {
+    return pending_.stats();
+  }
+
+  /// Aggregate device-internal host FIFO stats over every run dispatched
+  /// so far (summed accel::RunResult::queue_stats()).
+  [[nodiscard]] const sim::FifoStats& device_queue_stats() const noexcept {
+    return device_queue_stats_;
+  }
+
+  [[nodiscard]] std::uint64_t total_model_uploads() const noexcept;
+
+ private:
+  struct Slot {
+    std::size_t id = 0;
+    std::optional<std::size_t> resident_task;
+    sim::Cycle busy_until = 0;
+    sim::Cycle busy_cycles = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t stories = 0;
+    std::uint64_t model_uploads = 0;
+
+    [[nodiscard]] bool free(sim::Cycle now) const noexcept {
+      return busy_until <= now;
+    }
+  };
+
+  [[nodiscard]] Slot* pick_slot(std::size_t task, sim::Cycle now);
+  void dispatch(Slot& slot, const Batch& batch, sim::Cycle now);
+
+  SchedulerConfig config_;
+  std::vector<accel::Accelerator> task_devices_;
+  std::vector<Slot> slots_;
+  sim::Fifo<Batch> pending_;
+  std::vector<InferenceResponse> in_flight_;  ///< completion times known
+  sim::FifoStats device_queue_stats_;
+};
+
+}  // namespace mann::serve

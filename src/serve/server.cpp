@@ -1,0 +1,185 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/module.hpp"
+#include "sim/simulator.hpp"
+
+namespace mann::serve {
+
+namespace {
+
+/// Frontend: pulls due arrivals out of the TrafficGenerator into the
+/// batcher. Overload is shed here (bounded batch queues), like any
+/// open-loop serving frontend.
+class FrontendModule final : public sim::Module {
+ public:
+  FrontendModule(const sim::Simulator& clock, TrafficGenerator& generator,
+                 Batcher& batcher)
+      : Module("FRONTEND"), clock_(clock), generator_(generator),
+        batcher_(batcher) {}
+
+  void tick() override {
+    while (std::optional<InferenceRequest> request =
+               generator_.poll(clock_.now())) {
+      (void)batcher_.enqueue(*request);
+      mark_busy();
+    }
+  }
+
+  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
+    return generator_.next_arrival();
+  }
+
+ private:
+  const sim::Simulator& clock_;
+  TrafficGenerator& generator_;
+  Batcher& batcher_;
+};
+
+/// Moves ready batches from the batcher into the scheduler, respecting
+/// the scheduler's queue bound (back-pressure instead of drop). Once the
+/// traffic source is exhausted, drains sub-size leftovers immediately
+/// rather than letting them age to the timeout.
+class BatchModule final : public sim::Module {
+ public:
+  BatchModule(const sim::Simulator& clock, const TrafficGenerator& generator,
+              Batcher& batcher, Scheduler& scheduler)
+      : Module("BATCHER"), clock_(clock), generator_(generator),
+        batcher_(batcher), scheduler_(scheduler) {}
+
+  void tick() override {
+    const sim::Cycle now = clock_.now();
+    while (scheduler_.has_capacity()) {
+      std::optional<Batch> batch = batcher_.poll(now);
+      if (!batch && generator_.exhausted()) {
+        batch = batcher_.drain(now);
+      }
+      if (!batch) {
+        return;
+      }
+      if (!scheduler_.submit(*std::move(batch))) {
+        throw std::logic_error("BatchModule: submit after has_capacity");
+      }
+      mark_busy();
+    }
+  }
+
+  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
+    if (batcher_.pending() == 0) {
+      return sim::kNever;
+    }
+    if (generator_.exhausted() || !scheduler_.has_capacity()) {
+      // Drain mode or blocked on downstream: may act at the very next
+      // tick, so report the current clock (vetoes any skip past it).
+      return clock_.now();
+    }
+    // Waiting to fill: wake at the oldest request's timeout. A fill-up
+    // wakes us anyway via the frontend's arrival horizon.
+    return batcher_.next_deadline();
+  }
+
+ private:
+  const sim::Simulator& clock_;
+  const TrafficGenerator& generator_;
+  Batcher& batcher_;
+  Scheduler& scheduler_;
+};
+
+/// Drives the device pool and feeds completed responses to the metrics.
+class DispatchModule final : public sim::Module {
+ public:
+  DispatchModule(const sim::Simulator& clock, Scheduler& scheduler,
+                 ServingMetrics& metrics, sim::Cycle& last_completion)
+      : Module("DISPATCH"), clock_(clock), scheduler_(scheduler),
+        metrics_(metrics), last_completion_(last_completion) {}
+
+  void tick() override {
+    const sim::Cycle now = clock_.now();
+    scheduler_.step(now);
+    for (const InferenceResponse& response : scheduler_.collect(now)) {
+      metrics_.record(response);
+      last_completion_ = std::max(last_completion_, response.complete_cycle);
+      mark_busy();
+    }
+  }
+
+  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
+    if (scheduler_.pending_batches() > 0) {
+      // Next dispatch opportunity: a slot freeing (conservative — a past
+      // cycle just vetoes the skip and falls back to per-cycle ticking).
+      return std::min(scheduler_.next_slot_free(clock_.now()),
+                      scheduler_.next_completion());
+    }
+    return scheduler_.next_completion();
+  }
+
+ private:
+  const sim::Simulator& clock_;
+  Scheduler& scheduler_;
+  ServingMetrics& metrics_;
+  sim::Cycle& last_completion_;
+};
+
+}  // namespace
+
+Server::Server(ServerConfig config, std::vector<ServedModel> models)
+    : config_(std::move(config)), models_(std::move(models)) {
+  if (models_.empty()) {
+    throw std::invalid_argument("Server: no models to serve");
+  }
+  for (const ServedModel& m : models_) {
+    if (m.stories.empty()) {
+      throw std::invalid_argument("Server: model with empty corpus");
+    }
+  }
+}
+
+ServingReport Server::run(std::size_t total_requests) const {
+  std::vector<TaskWorkload> workloads;
+  std::vector<accel::Accelerator> task_devices;
+  workloads.reserve(models_.size());
+  task_devices.reserve(models_.size());
+  for (std::size_t t = 0; t < models_.size(); ++t) {
+    workloads.push_back({t, models_[t].stories});
+    task_devices.emplace_back(config_.accel, models_[t].program);
+  }
+
+  TrafficGenerator generator(config_.traffic, std::move(workloads),
+                             total_requests);
+  Batcher batcher(config_.batcher, models_.size());
+  Scheduler scheduler(config_.scheduler, std::move(task_devices));
+  ServingMetrics metrics(config_.accel.clock_hz, config_.histogram_bins);
+  sim::Cycle last_completion = 0;
+
+  sim::Simulator simulator;
+  FrontendModule frontend(simulator, generator, batcher);
+  BatchModule batch_stage(simulator, generator, batcher, scheduler);
+  DispatchModule dispatch(simulator, scheduler, metrics, last_completion);
+  simulator.add_module(frontend);
+  simulator.add_module(batch_stage);
+  simulator.add_module(dispatch);
+
+  simulator.run_events(
+      [&] {
+        return generator.exhausted() && batcher.pending() == 0 &&
+               scheduler.idle();
+      },
+      config_.watchdog_cycles);
+
+  return metrics.finalize(
+      generator.emitted(),
+      static_cast<std::size_t>(batcher.counters().requests_rejected),
+      last_completion, config_.batcher.max_batch, batcher.counters(),
+      [&] {
+        sim::FifoStats stats = batcher.queue_stats();
+        stats += scheduler.queue_stats();
+        stats += scheduler.device_queue_stats();
+        return stats;
+      }(),
+      scheduler.device_reports(), scheduler.total_model_uploads());
+}
+
+}  // namespace mann::serve

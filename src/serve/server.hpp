@@ -1,0 +1,61 @@
+// The serving runtime: generator -> batcher -> scheduler -> device pool,
+// advanced by the shared sim::Simulator clock.
+//
+// Each stage is a sim::Module ticked in dataflow order; the loop runs on
+// Simulator::run_events, so stretches where nothing moves (waiting for
+// the next arrival, devices grinding through a batch) are skipped in one
+// jump while remaining cycle-exact at every decision point. This is the
+// first consumer of accel::Accelerator that is not a one-shot experiment:
+// devices stay warm across batches via RunOptions::model_resident.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/compiler.hpp"
+#include "data/types.hpp"
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+#include "sim/types.hpp"
+
+namespace mann::serve {
+
+/// One deployable model: its compiled device program plus the corpus of
+/// encodable questions traffic is drawn from (non-owning).
+struct ServedModel {
+  accel::DeviceProgram program;
+  std::span<const data::EncodedStory> stories;
+};
+
+struct ServerConfig {
+  accel::AccelConfig accel;  ///< per-device config (clock, FIFOs, ITH…)
+  TrafficConfig traffic;
+  BatcherConfig batcher;
+  SchedulerConfig scheduler;
+  /// Serving-level watchdog (independent of the per-batch accel watchdog).
+  sim::Cycle watchdog_cycles = 20'000'000'000ULL;
+  std::size_t histogram_bins = 64;
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, std::vector<ServedModel> models);
+
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Serves `total_requests` drawn from the traffic config to completion
+  /// (every admitted request answered, queues drained) and reports.
+  [[nodiscard]] ServingReport run(std::size_t total_requests) const;
+
+ private:
+  ServerConfig config_;
+  std::vector<ServedModel> models_;
+};
+
+}  // namespace mann::serve

@@ -2,6 +2,7 @@
 // architecture (FIFO_IN, FIFO_OUT and the internal module queues in Fig. 1).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <deque>
 #include <optional>
@@ -12,12 +13,22 @@
 
 namespace mann::sim {
 
-/// Occupancy statistics of a FIFO, for the fifo-depth ablation bench.
+/// Occupancy statistics of a FIFO, for the fifo-depth ablation bench and
+/// the serving-runtime queue reports (both aggregate with operator+=, so
+/// every queue in the system is introspected through one code path).
 struct FifoStats {
   std::uint64_t pushes = 0;
   std::uint64_t pops = 0;
   std::uint64_t full_rejects = 0;  ///< push attempts while full
   std::size_t max_occupancy = 0;
+
+  FifoStats& operator+=(const FifoStats& o) noexcept {
+    pushes += o.pushes;
+    pops += o.pops;
+    full_rejects += o.full_rejects;
+    max_occupancy = std::max(max_occupancy, o.max_occupancy);
+    return *this;
+  }
 };
 
 /// Single-clock bounded queue. Producers must check full() (or use

@@ -8,6 +8,7 @@
 // boundary without simulating every register.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "sim/types.hpp"
@@ -24,6 +25,17 @@ class Module {
 
   /// Advances one clock cycle.
   virtual void tick() = 0;
+
+  /// Earliest future cycle at which this module could change state, given
+  /// no new input from other modules. Simulator::run_events uses this to
+  /// fast-forward across quiescent stretches (e.g. waiting for the next
+  /// request arrival in the serving runtime). Returning nullopt means
+  /// "unknown — tick me every cycle", the conservative default that keeps
+  /// the handwritten datapath modules cycle-exact. kNever means the module
+  /// is idle until some other module acts.
+  [[nodiscard]] virtual std::optional<Cycle> next_activity() const {
+    return std::nullopt;
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const ModuleStats& stats() const noexcept { return stats_; }

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 namespace mann::sim {
@@ -14,6 +16,44 @@ Cycle Simulator::run_until(const std::function<bool()>& done,
       throw std::runtime_error(
           "Simulator: watchdog expired — dataflow deadlock or runaway");
     }
+    for (Module* m : modules_) {
+      m->tick();
+    }
+    ++now_;
+  }
+  return now_ - start;
+}
+
+Cycle Simulator::run_events(const std::function<bool()>& done,
+                            Cycle max_cycles) {
+  const Cycle start = now_;
+  while (!done()) {
+    if (now_ - start >= max_cycles) {
+      throw std::runtime_error(
+          "Simulator: watchdog expired — dataflow deadlock or runaway");
+    }
+
+    // Quiescence check: if every module agrees nothing can happen before
+    // some future cycle, jump straight there. A nullopt vetoes the jump.
+    Cycle horizon = kNever;
+    bool skippable = !modules_.empty();
+    for (const Module* m : modules_) {
+      const std::optional<Cycle> next = m->next_activity();
+      if (!next.has_value()) {
+        skippable = false;
+        break;
+      }
+      horizon = std::min(horizon, *next);
+    }
+    if (skippable && horizon > now_) {
+      // Clamp so the watchdog still fires instead of wrapping past it.
+      now_ = std::min(horizon, start + max_cycles);
+      if (now_ - start >= max_cycles) {
+        throw std::runtime_error(
+            "Simulator: watchdog expired — all modules idle forever");
+      }
+    }
+
     for (Module* m : modules_) {
       m->tick();
     }

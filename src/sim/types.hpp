@@ -11,6 +11,10 @@ namespace mann::sim {
 /// whose words-per-cycle rate depends on frequency).
 using Cycle = std::uint64_t;
 
+/// Sentinel for "no scheduled activity": a module that is idle until new
+/// external input reports this from next_activity().
+inline constexpr Cycle kNever = ~Cycle{0};
+
 /// Datapath operation counts accumulated by a module. The power model
 /// multiplies these by per-op energy coefficients, so the categories match
 /// the distinct physical units of the design (DSP MACs, LUT adds, the exp

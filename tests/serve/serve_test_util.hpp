@@ -1,0 +1,61 @@
+// Shared fixtures for the serving-layer tests: a tiny untrained model
+// (prediction quality is irrelevant to queueing/scheduling behaviour —
+// only the cycle costs matter, and those depend on shapes, not weights)
+// and a small synthetic story corpus.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "accel/compiler.hpp"
+#include "data/types.hpp"
+#include "model/memn2n.hpp"
+#include "numeric/random.hpp"
+#include "serve/request.hpp"
+
+namespace mann::serve::testing {
+
+inline model::ModelConfig tiny_model_config() {
+  model::ModelConfig config;
+  config.vocab_size = 12;
+  config.embedding_dim = 8;
+  config.hops = 2;
+  config.max_memory = 8;
+  return config;
+}
+
+inline accel::DeviceProgram tiny_program(std::uint64_t seed = 7) {
+  numeric::Rng rng(seed);
+  const model::MemN2N net(tiny_model_config(), rng);
+  return accel::compile_model(net);
+}
+
+/// `count` two-sentence stories with in-vocab word indices.
+inline std::vector<data::EncodedStory> tiny_stories(std::size_t count) {
+  std::vector<data::EncodedStory> stories;
+  stories.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    data::EncodedStory story;
+    const auto w = [&](std::size_t k) {
+      return static_cast<std::int32_t>((i + k) % 12);
+    };
+    story.context = {{w(0), w(1)}, {w(2), w(3)}};
+    story.question = {w(4)};
+    story.answer = w(5);
+    stories.push_back(story);
+  }
+  return stories;
+}
+
+inline InferenceRequest make_request(RequestId id, std::size_t task,
+                                     const data::EncodedStory& story,
+                                     sim::Cycle enqueue) {
+  InferenceRequest request;
+  request.id = id;
+  request.task = task;
+  request.story = &story;
+  request.enqueue_cycle = enqueue;
+  return request;
+}
+
+}  // namespace mann::serve::testing

@@ -95,6 +95,69 @@ TEST(Simulator, ImmediateDonePredicateRunsZeroCycles) {
   EXPECT_EQ(m.ticks, 0U);
 }
 
+/// Acts only at scheduled cycles; between them it reports the next one,
+/// letting run_events jump the gap.
+class EventModule final : public Module {
+ public:
+  EventModule(std::string name, const Simulator& clock,
+              std::vector<Cycle> events)
+      : Module(std::move(name)), clock_(clock), events_(std::move(events)) {}
+
+  void tick() override {
+    ++ticks;
+    if (next_ < events_.size() && events_[next_] <= clock_.now()) {
+      fired.push_back(clock_.now());
+      ++next_;
+    }
+  }
+
+  [[nodiscard]] std::optional<Cycle> next_activity() const override {
+    return next_ < events_.size() ? events_[next_] : kNever;
+  }
+
+  Cycle ticks = 0;
+  std::vector<Cycle> fired;
+
+ private:
+  const Simulator& clock_;
+  std::vector<Cycle> events_;
+  std::size_t next_ = 0;
+};
+
+TEST(Simulator, RunEventsSkipsQuiescentGaps) {
+  Simulator sim;
+  EventModule m("m", sim, {5, 1000, 100'000});
+  sim.add_module(m);
+  (void)sim.run_events([&] { return m.fired.size() >= 3; }, 1'000'000);
+  // Every event observed at its exact cycle…
+  ASSERT_EQ(m.fired.size(), 3U);
+  EXPECT_EQ(m.fired[0], 5U);
+  EXPECT_EQ(m.fired[1], 1000U);
+  EXPECT_EQ(m.fired[2], 100'000U);
+  // …but the clock jumped the dead stretches instead of ticking them.
+  EXPECT_LT(m.ticks, 10U);
+  EXPECT_EQ(sim.now(), 100'001U);
+}
+
+TEST(Simulator, RunEventsFallsBackWhenAnyModuleIsUnskippable) {
+  Simulator sim;
+  EventModule events("e", sim, {50});
+  CountingModule dense("d");  // next_activity() = nullopt: tick every cycle
+  sim.add_module(events);
+  sim.add_module(dense);
+  (void)sim.run_events([&] { return !events.fired.empty(); }, 1000);
+  EXPECT_EQ(dense.ticks, 51U);  // cycles 0..50, no skipping
+  EXPECT_EQ(sim.now(), 51U);
+}
+
+TEST(Simulator, RunEventsWatchdogStillFires) {
+  Simulator sim;
+  EventModule m("m", sim, {});  // permanently idle, done never true
+  sim.add_module(m);
+  EXPECT_THROW((void)sim.run_events([] { return false; }, 100),
+               std::runtime_error);
+}
+
 TEST(OpCounts, AccumulateAndTotal) {
   OpCounts a;
   a.mac = 5;
