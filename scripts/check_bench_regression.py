@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_serve.json run against the checked-in baseline.
+
+Usage: check_bench_regression.py CURRENT BASELINE [--threshold 0.20]
+
+Fails (exit 1) when:
+  * simulated throughput regressed by more than the threshold,
+  * simulated accuracy dropped (bit-stable given the seed, so any drop
+    is a real behaviour change),
+  * the parallel leg's simulated report diverged from the sequential
+    path (reports_identical == false).
+
+Only the `simulated` block gates: it is deterministic given the seed.
+The `host` block (wall clock, cache hit rate) is machine-dependent and
+reported for information only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional throughput drop")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+
+    # Simulated numbers only compare on the identical workload; refuse to
+    # gate across differing bench configurations.
+    for key in ("schema", "tasks", "requests", "devices", "max_batch",
+                "seed"):
+        if current.get(key) != baseline.get(key):
+            failures.append(
+                f"workload mismatch on '{key}': current "
+                f"{current.get(key)!r} vs baseline {baseline.get(key)!r} "
+                f"(regenerate bench/BENCH_serve_baseline.json)")
+
+    cur_sim = current["simulated"]
+    base_sim = baseline["simulated"]
+
+    cur_tp = cur_sim["throughput_stories_per_second"]
+    base_tp = base_sim["throughput_stories_per_second"]
+    drop = (base_tp - cur_tp) / base_tp if base_tp > 0 else 0.0
+    print(f"throughput: {cur_tp:.0f} stories/s vs baseline {base_tp:.0f} "
+          f"({-drop:+.1%})")
+    if drop > args.threshold:
+        failures.append(
+            f"throughput regressed {drop:.1%} (> {args.threshold:.0%})")
+
+    cur_acc = cur_sim["accuracy"]
+    base_acc = base_sim["accuracy"]
+    print(f"accuracy: {cur_acc:.6f} vs baseline {base_acc:.6f}")
+    if cur_acc < base_acc - 1e-9:
+        failures.append(f"accuracy dropped {base_acc:.6f} -> {cur_acc:.6f}")
+
+    for key in ("p50_ms", "p99_ms"):
+        print(f"{key}: {cur_sim[key]:.3f} vs baseline {base_sim[key]:.3f}")
+
+    host = current.get("host", {})
+    if host.get("reports_identical") is False:
+        failures.append("parallel leg diverged from the sequential path")
+    if host:
+        print(f"host wall: sequential {host.get('sequential_wall_seconds', 0):.3f}s, "
+              f"parallel {host.get('parallel_wall_seconds', 0):.3f}s "
+              f"({host.get('wall_speedup', 0):.2f}x), cache hit rate "
+              f"{host.get('cache', {}).get('hit_rate', 0):.1%} "
+              f"[informational]")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

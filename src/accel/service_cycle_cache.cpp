@@ -1,0 +1,112 @@
+#include "accel/service_cycle_cache.hpp"
+
+#include <stdexcept>
+
+namespace mann::accel {
+
+std::uint64_t digest_stories(
+    std::span<const data::EncodedStory> stories) noexcept {
+  // Digests index streams, not bytes: one multiply per token.
+  std::uint64_t h = kFnv1aOffset;
+  for (const data::EncodedStory& story : stories) {
+    h = fnv1a_mix(h, story.context.size());
+    for (const std::vector<std::int32_t>& sentence : story.context) {
+      h = fnv1a_mix(h, sentence.size());
+      for (const std::int32_t word : sentence) {
+        h = fnv1a_mix(h, static_cast<std::uint64_t>(word));
+      }
+    }
+    h = fnv1a_mix(h, story.question.size());
+    for (const std::int32_t word : story.question) {
+      h = fnv1a_mix(h, static_cast<std::uint64_t>(word));
+    }
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(story.answer));
+  }
+  return h;
+}
+
+std::size_t ServiceCycleCache::KeyHash::operator()(
+    const Key& k) const noexcept {
+  std::uint64_t h = kFnv1aOffset;
+  h = fnv1a_mix(h, k.program_fingerprint);
+  h = fnv1a_mix(h, k.stories_digest);
+  h = fnv1a_mix(h, k.story_count);
+  h = fnv1a_mix(h, k.model_resident ? 1 : 0);
+  return static_cast<std::size_t>(h);
+}
+
+ServiceCycleCache::ServiceCycleCache(std::size_t capacity)
+    : capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("ServiceCycleCache: capacity must be > 0");
+  }
+}
+
+std::optional<RunResult> ServiceCycleCache::acquire(const Key& key) {
+  std::unique_lock lock(mutex_);
+  bool waited = false;
+  for (;;) {
+    if (const auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      ++stats_.hits;
+      stats_.waits += waited ? 1 : 0;
+      return it->second->result;
+    }
+    if (!in_flight_.contains(key)) {
+      in_flight_.insert(key);
+      ++stats_.misses;
+      return std::nullopt;  // caller owns the computation
+    }
+    waited = true;
+    ready_.wait(lock, [&] {
+      return index_.contains(key) || !in_flight_.contains(key);
+    });
+  }
+}
+
+void ServiceCycleCache::publish(const Key& key, const RunResult& result) {
+  {
+    std::lock_guard lock(mutex_);
+    in_flight_.erase(key);
+    if (!index_.contains(key)) {
+      lru_.push_front({key, result});
+      index_.emplace(key, lru_.begin());
+      ++stats_.insertions;
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+  }
+  ready_.notify_all();
+}
+
+void ServiceCycleCache::abandon(const Key& key) noexcept {
+  {
+    std::lock_guard lock(mutex_);
+    in_flight_.erase(key);
+  }
+  ready_.notify_all();
+}
+
+ServiceCycleCacheStats ServiceCycleCache::stats() const {
+  std::lock_guard lock(mutex_);
+  ServiceCycleCacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+std::size_t ServiceCycleCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+void ServiceCycleCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = {};
+}
+
+}  // namespace mann::accel

@@ -1,0 +1,120 @@
+// Service-cycle memoization for warm serving traffic.
+//
+// Accelerator::run is a pure function of (config, program, stories,
+// model_resident): the cycle-level simulation always lands on the same
+// timing and outputs for the same inputs. Serving traffic walks a fixed
+// corpus round-robin, so the same batch contents recur constantly once
+// the pool is warm — and re-simulating them is where nearly all host
+// wall-clock goes. ServiceCycleCache memoizes complete RunResults keyed
+// on (program fingerprint, story digest, resident flag) so a repeated
+// batch replays its cached timing/output instead of re-simulating;
+// replay is bit-identical because the key covers every input that can
+// influence the simulation.
+//
+// The cache is shared by the serving scheduler's host workers and the
+// simulation thread, so it is internally locked and additionally acts as
+// a rendezvous for in-flight computations: acquire() on a key that
+// another thread is currently simulating blocks until that thread
+// publishes (or abandons), which both deduplicates speculative work and
+// lets the simulation thread pick up a prefetched result the moment it
+// is ready.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "accel/accelerator.hpp"
+#include "data/types.hpp"
+
+namespace mann::accel {
+
+/// Hit/miss/eviction counters, exported into the ServingReport.
+struct ServiceCycleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;       ///< lookups that had to simulate
+  std::uint64_t waits = 0;        ///< hits that blocked on an in-flight run
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;        ///< resident entries at sample time
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Word-at-a-time FNV-1a — the one hash primitive behind the story
+/// digest, the key hash and the device fingerprint, kept together so the
+/// three stay a matched set (they jointly form the cache key).
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+[[nodiscard]] inline std::uint64_t fnv1a_mix(std::uint64_t h,
+                                             std::uint64_t word) noexcept {
+  return (h ^ word) * 0x100000001b3ULL;
+}
+
+/// FNV-1a digest of a story span (shapes and contents). Two spans with
+/// the same digest and count are treated as the same workload.
+[[nodiscard]] std::uint64_t digest_stories(
+    std::span<const data::EncodedStory> stories) noexcept;
+
+class ServiceCycleCache {
+ public:
+  struct Key {
+    std::uint64_t program_fingerprint = 0;  ///< config + program digest
+    std::uint64_t stories_digest = 0;
+    std::size_t story_count = 0;
+    bool model_resident = false;
+
+    [[nodiscard]] bool operator==(const Key&) const noexcept = default;
+  };
+
+  /// `capacity` bounds resident entries; the least recently used entry is
+  /// evicted on overflow. Throws std::invalid_argument when 0.
+  explicit ServiceCycleCache(std::size_t capacity = 1024);
+
+  /// Looks up `key`. On a hit returns a copy of the cached result. On a
+  /// miss the caller becomes the key's owner and MUST later call
+  /// publish() (or abandon() on failure). If another thread owns the key,
+  /// blocks until it publishes or abandons, then resolves accordingly.
+  [[nodiscard]] std::optional<RunResult> acquire(const Key& key);
+
+  /// Inserts the owned key's result (evicting LRU beyond capacity) and
+  /// wakes any acquire() blocked on it.
+  void publish(const Key& key, const RunResult& result);
+
+  /// Releases ownership without a result (the simulation threw); a
+  /// blocked acquire() takes over the computation.
+  void abandon(const Key& key) noexcept;
+
+  [[nodiscard]] ServiceCycleCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+ private:
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    Key key;
+    RunResult result;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::unordered_set<Key, KeyHash> in_flight_;
+  ServiceCycleCacheStats stats_;
+};
+
+}  // namespace mann::accel

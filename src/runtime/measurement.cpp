@@ -1,5 +1,6 @@
 #include "runtime/measurement.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 
@@ -95,10 +96,14 @@ TaskArtifacts finish_from_model(data::TaskDataset dataset,
 }  // namespace
 
 std::vector<TaskArtifacts> prepare_suite_cached(const PrepareConfig& config,
-                                                const std::string& cache_dir) {
+                                                const std::string& cache_dir,
+                                                std::size_t max_tasks) {
   std::filesystem::create_directories(cache_dir);
   std::vector<data::TaskDataset> datasets =
       data::build_joint_suite(config.dataset);
+  if (max_tasks > 0 && max_tasks < datasets.size()) {
+    datasets.resize(max_tasks);
+  }
   std::vector<TaskArtifacts> suite;
   suite.reserve(datasets.size());
   for (data::TaskDataset& ds : datasets) {
@@ -117,6 +122,21 @@ std::vector<TaskArtifacts> prepare_suite_cached(const PrepareConfig& config,
     suite.push_back(std::move(art));
   }
   return suite;
+}
+
+bool suite_cache_complete(const PrepareConfig& config,
+                          const std::string& cache_dir,
+                          std::size_t max_tasks) {
+  const std::vector<data::TaskId>& tasks = data::all_tasks();
+  const std::size_t count =
+      max_tasks > 0 ? std::min(max_tasks, tasks.size()) : tasks.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::filesystem::exists(cache_dir + "/" +
+                                 cache_key(config, tasks[i]))) {
+      return false;
+    }
+  }
+  return true;
 }
 
 MeasurementRow measure_baseline(const BaselineConfig& baseline,
@@ -207,6 +227,9 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
   config.batcher.max_wait_cycles = options.max_wait_cycles;
   config.scheduler.devices = options.pool_devices;
   config.scheduler.dedicated_devices = options.dedicated_devices;
+  config.scheduler.workers = options.workers;
+  config.scheduler.cache_capacity = options.cache_capacity;
+  config.scheduler.cycle_cache = options.cycle_cache;
 
   const serve::Server server(config, std::move(models));
 
@@ -217,6 +240,12 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
       std::to_string(static_cast<long long>(
           options.mean_interarrival_cycles)) +
       "cy" + (options.ith ? " + ITH" : "");
+  if (options.workers > 0) {
+    measurement.config_name += " W=" + std::to_string(options.workers);
+  }
+  if (options.workers > 0 || options.cycle_cache != nullptr) {
+    measurement.config_name += " +cache";
+  }
   measurement.report = server.run(options.requests);
   return measurement;
 }

@@ -54,8 +54,19 @@ struct PrepareConfig {
 /// (created if missing). The cache key encodes the configuration knobs
 /// that affect training, so changing them retrains instead of serving a
 /// stale model. ITH calibration is recomputed (cheap, deterministic).
+/// `max_tasks` > 0 finishes only the first that many tasks of the joint
+/// suite (the joint vocabulary still spans all 20, so cached models stay
+/// compatible); 0 means the whole suite.
 [[nodiscard]] std::vector<TaskArtifacts> prepare_suite_cached(
-    const PrepareConfig& config, const std::string& cache_dir);
+    const PrepareConfig& config, const std::string& cache_dir,
+    std::size_t max_tasks = 0);
+
+/// True when every model the (possibly task-limited) suite would load is
+/// already cached under `cache_dir` — the "no training required" probe
+/// benches use to decide between the shared cache and --train-fallback.
+[[nodiscard]] bool suite_cache_complete(const PrepareConfig& config,
+                                        const std::string& cache_dir,
+                                        std::size_t max_tasks = 0);
 
 /// One measured configuration (a row of Table I).
 struct MeasurementRow {
@@ -102,6 +113,15 @@ struct ServingOptions {
   std::size_t requests = 500;
   std::uint64_t seed = 2019;
   bool ith = false;
+  /// Host execution: worker threads simulating batches ahead of the
+  /// serving clock (0 = the sequential path) and the service-cycle
+  /// cache. The simulated report is bit-identical either way; only wall
+  /// clock moves.
+  std::size_t workers = 0;
+  std::size_t cache_capacity = 1024;
+  /// External cache shared across measure_serving calls (non-owning);
+  /// when null and workers > 0 the scheduler owns a private one.
+  accel::ServiceCycleCache* cycle_cache = nullptr;
 };
 
 /// One serving row (sits beside the Table-I rows in reports).

@@ -58,22 +58,18 @@ void ServingMetrics::record(const InferenceResponse& response) {
   queue_wait_.add(static_cast<float>(response.queue_cycles()));
 }
 
-ServingReport ServingMetrics::finalize(
-    std::size_t offered, std::size_t rejected, sim::Cycle makespan,
-    std::size_t max_batch, const BatcherCounters& batching,
-    sim::FifoStats queue_stats, std::vector<DeviceReport> devices,
-    std::uint64_t model_uploads) const {
+ServingReport ServingMetrics::finalize(RunTotals totals) const {
   ServingReport report;
-  report.offered = offered;
+  report.offered = totals.offered;
   report.completed = completed_;
-  report.rejected = rejected;
-  report.makespan_cycles = makespan;
-  report.seconds = static_cast<double>(makespan) / clock_hz_;
+  report.rejected = totals.rejected;
+  report.makespan_cycles = totals.makespan;
+  report.seconds = static_cast<double>(totals.makespan) / clock_hz_;
   if (report.seconds > 0.0) {
     report.throughput_stories_per_second =
         static_cast<double>(completed_) / report.seconds;
     report.offered_stories_per_second =
-        static_cast<double>(offered) / report.seconds;
+        static_cast<double>(totals.offered) / report.seconds;
   }
   if (completed_ > 0) {
     report.accuracy =
@@ -83,21 +79,29 @@ ServingReport ServingMetrics::finalize(
     report.mean_batch_size = static_cast<double>(batch_size_sum_) /
                              static_cast<double>(completed_);
   }
-  if (max_batch > 0) {
+  if (totals.max_batch > 0) {
     report.batching_efficiency =
-        report.mean_batch_size / static_cast<double>(max_batch);
+        report.mean_batch_size / static_cast<double>(totals.max_batch);
   }
   report.latency = summarize(latency_, clock_hz_);
   report.queue_wait = summarize(queue_wait_, clock_hz_);
-  report.batching = batching;
-  report.queue_stats = queue_stats;
-  report.devices = std::move(devices);
-  report.model_uploads = model_uploads;
-  if (makespan > 0 && !report.devices.empty()) {
+  report.batching = totals.batching;
+  report.queue_stats = totals.queue_stats;
+  report.devices = std::move(totals.devices);
+  report.model_uploads = totals.model_uploads;
+  report.host_wall_seconds = totals.host_wall_seconds;
+  if (totals.host_wall_seconds > 0.0) {
+    report.host_stories_per_second =
+        static_cast<double>(completed_) / totals.host_wall_seconds;
+  }
+  report.workers = totals.workers;
+  report.cycle_cache_enabled = totals.cycle_cache_enabled;
+  report.cycle_cache = totals.cycle_cache;
+  if (totals.makespan > 0 && !report.devices.empty()) {
     double utilization = 0.0;
     for (const DeviceReport& d : report.devices) {
       utilization += static_cast<double>(d.busy_cycles) /
-                     static_cast<double>(makespan);
+                     static_cast<double>(totals.makespan);
     }
     report.mean_device_utilization =
         utilization / static_cast<double>(report.devices.size());

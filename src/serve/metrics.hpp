@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "accel/service_cycle_cache.hpp"
 #include "numeric/histogram.hpp"
 #include "serve/batcher.hpp"
 #include "serve/request.hpp"
@@ -53,11 +54,36 @@ struct ServingReport {
   double mean_device_utilization = 0.0;
   std::uint64_t model_uploads = 0;
 
+  // Host-execution view: everything above is on the simulated device
+  // clock; these report how fast the host actually ground through it.
+  double host_wall_seconds = 0.0;     ///< wall time of the serving loop
+  double host_stories_per_second = 0.0;
+  std::size_t workers = 0;            ///< host worker threads (0 = serial)
+  bool cycle_cache_enabled = false;
+  accel::ServiceCycleCacheStats cycle_cache;  ///< zeros when disabled
+
   BatcherCounters batching;
   std::vector<DeviceReport> devices;
   /// One FifoStats over every queue in the stack: per-task batch queues,
   /// the scheduler's pending queue, and the devices' host FIFOs.
   sim::FifoStats queue_stats;
+};
+
+/// Everything finalize() folds in beside the per-response observations —
+/// the end-of-run counters of the other serving components.
+struct RunTotals {
+  std::size_t offered = 0;
+  std::size_t rejected = 0;
+  sim::Cycle makespan = 0;
+  std::size_t max_batch = 0;
+  BatcherCounters batching;
+  sim::FifoStats queue_stats;
+  std::vector<DeviceReport> devices;
+  std::uint64_t model_uploads = 0;
+  double host_wall_seconds = 0.0;
+  std::size_t workers = 0;
+  bool cycle_cache_enabled = false;
+  accel::ServiceCycleCacheStats cycle_cache;
 };
 
 class ServingMetrics {
@@ -77,15 +103,9 @@ class ServingMetrics {
   }
 
   /// Folds accumulated observations plus the component counters into the
-  /// final report. `makespan` is the serving clock at the last completion.
-  [[nodiscard]] ServingReport finalize(std::size_t offered,
-                                       std::size_t rejected,
-                                       sim::Cycle makespan,
-                                       std::size_t max_batch,
-                                       const BatcherCounters& batching,
-                                       sim::FifoStats queue_stats,
-                                       std::vector<DeviceReport> devices,
-                                       std::uint64_t model_uploads) const;
+  /// final report. `totals.makespan` is the serving clock at the last
+  /// completion.
+  [[nodiscard]] ServingReport finalize(RunTotals totals) const;
 
  private:
   double clock_hz_;

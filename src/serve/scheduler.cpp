@@ -1,7 +1,9 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 namespace mann::serve {
 
@@ -22,6 +24,15 @@ Scheduler::Scheduler(SchedulerConfig config,
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     slots_[i].id = i;
   }
+  cache_ = config_.cycle_cache;
+  if (cache_ == nullptr && config_.workers > 0) {
+    owned_cache_ = std::make_unique<accel::ServiceCycleCache>(
+        config_.cache_capacity == 0 ? 1 : config_.cache_capacity);
+    cache_ = owned_cache_.get();
+  }
+  if (config_.workers > 0) {
+    pool_ = std::make_unique<WorkerPool>(config_.workers);
+  }
 }
 
 bool Scheduler::submit(Batch batch) {
@@ -31,7 +42,42 @@ bool Scheduler::submit(Batch batch) {
   if (batch.requests.empty()) {
     throw std::invalid_argument("Scheduler: empty batch");
   }
+  if (pool_ != nullptr && !pending_.full()) {
+    speculate(batch);
+  }
   return pending_.try_push(std::move(batch));
+}
+
+bool Scheduler::task_resident_anywhere(std::size_t task) const noexcept {
+  for (const Slot& slot : slots_) {
+    if (slot.resident_task == task) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::speculate(const Batch& batch) {
+  // Predict the dispatch-time variant from submit-time residency: warm
+  // once the program sits in any slot (the steady state), cold before its
+  // first upload. A mispredict costs nothing but the wasted worker run —
+  // dispatch falls back to inline simulation of the variant it needs.
+  const bool warm = task_resident_anywhere(batch.task);
+  auto stories = std::make_shared<const std::vector<data::EncodedStory>>(
+      batch.stories);
+  const accel::Accelerator& device = task_devices_[batch.task];
+  accel::ServiceCycleCache* cache = cache_;
+  pool_->submit([&device, cache, stories, warm] {
+    accel::RunOptions options;
+    options.model_resident = warm;
+    options.cycle_cache = cache;
+    try {
+      (void)device.run(*stories, options);
+    } catch (...) {
+      // Speculation is best-effort: a failing workload (e.g. watchdog)
+      // fails again — with a proper throw — when dispatched inline.
+    }
+  });
 }
 
 void Scheduler::step(sim::Cycle now) {
@@ -75,6 +121,10 @@ void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now) {
   const bool warm = slot.resident_task == batch.task;
   accel::RunOptions options;
   options.model_resident = warm;
+  // With caching on this usually replays a memoized (often speculatively
+  // prefetched) result; acquire() blocks if a worker is mid-simulation
+  // on exactly this workload, so work is never duplicated.
+  options.cycle_cache = cache_;
   const accel::RunResult run =
       task_devices_[batch.task].run(batch.stories, options);
 
@@ -160,6 +210,17 @@ std::uint64_t Scheduler::total_model_uploads() const noexcept {
     total += slot.model_uploads;
   }
   return total;
+}
+
+void Scheduler::quiesce() {
+  if (pool_ != nullptr) {
+    pool_->wait_idle();
+  }
+}
+
+accel::ServiceCycleCacheStats Scheduler::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats()
+                           : accel::ServiceCycleCacheStats{};
 }
 
 }  // namespace mann::serve

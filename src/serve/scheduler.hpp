@@ -8,15 +8,30 @@
 // it. Placement is per-task sharding over the first `dedicated_devices`
 // slots (home = task % dedicated) with the remaining slots forming a
 // shared overflow pool that absorbs bursts.
+//
+// Host-parallel execution: with `workers > 0` the scheduler also owns a
+// WorkerPool and a ServiceCycleCache. Every submitted batch is
+// speculatively simulated on a worker (with the warm/cold variant
+// predicted from current slot residency) and published into the cache;
+// by the time the simulated clock reaches the dispatch, the result is
+// usually already memoized and the dispatch replays it for free. The
+// dispatch path itself is unchanged — it runs the device through the
+// same cache, so a speculation miss (or mispredicted variant) simply
+// simulates inline. Dispatch decisions never depend on worker timing,
+// which keeps the serving timeline bit-identical for any worker count,
+// including zero (the sequential escape hatch).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "accel/service_cycle_cache.hpp"
 #include "serve/batcher.hpp"
 #include "serve/request.hpp"
+#include "serve/worker_pool.hpp"
 #include "sim/fifo.hpp"
 #include "sim/types.hpp"
 
@@ -30,6 +45,18 @@ struct SchedulerConfig {
   std::size_t dedicated_devices = 0;
   /// Pending-batch queue bound (submit() rejects beyond it).
   std::size_t queue_capacity = 1024;
+  /// Host worker threads simulating device batches ahead of the serving
+  /// clock. 0 = sequential host execution (the debugging escape hatch);
+  /// the natural setting is one worker per device slot.
+  std::size_t workers = 0;
+  /// Entry bound of the internally owned service-cycle cache (ignored
+  /// when `cycle_cache` is supplied).
+  std::size_t cache_capacity = 1024;
+  /// External service-cycle cache (non-owning) — lets callers share one
+  /// cache across Server runs so a repeated workload replays instantly.
+  /// When null and `workers > 0`, the scheduler owns a private cache
+  /// (workers need one as the speculation rendezvous).
+  accel::ServiceCycleCache* cycle_cache = nullptr;
 };
 
 /// Per-slot utilization report.
@@ -102,6 +129,21 @@ class Scheduler {
 
   [[nodiscard]] std::uint64_t total_model_uploads() const noexcept;
 
+  /// Blocks until outstanding speculative work has drained, so cache
+  /// counters read afterwards are complete (and deterministic: the set
+  /// of speculated jobs is a pure function of the serving timeline).
+  void quiesce();
+
+  /// Service-cycle cache counters (all zero when caching is off).
+  [[nodiscard]] accel::ServiceCycleCacheStats cache_stats() const;
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return cache_ != nullptr;
+  }
+  /// Active host worker threads (0 = sequential execution).
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return pool_ ? pool_->size() : 0;
+  }
+
  private:
   struct Slot {
     std::size_t id = 0;
@@ -119,6 +161,10 @@ class Scheduler {
 
   [[nodiscard]] Slot* pick_slot(std::size_t task, sim::Cycle now);
   void dispatch(Slot& slot, const Batch& batch, sim::Cycle now);
+  /// Prefetch: simulate `batch` on a worker with the residency-predicted
+  /// warm/cold variant and publish the result into the cache.
+  void speculate(const Batch& batch);
+  [[nodiscard]] bool task_resident_anywhere(std::size_t task) const noexcept;
 
   SchedulerConfig config_;
   std::vector<accel::Accelerator> task_devices_;
@@ -126,6 +172,11 @@ class Scheduler {
   sim::Fifo<Batch> pending_;
   std::vector<InferenceResponse> in_flight_;  ///< completion times known
   sim::FifoStats device_queue_stats_;
+  std::unique_ptr<accel::ServiceCycleCache> owned_cache_;
+  accel::ServiceCycleCache* cache_ = nullptr;  ///< owned or external
+  /// Declared last: its destructor joins the workers while the devices
+  /// and cache they reference are still alive.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace mann::serve

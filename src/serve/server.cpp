@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -162,24 +163,40 @@ ServingReport Server::run(std::size_t total_requests) const {
   simulator.add_module(batch_stage);
   simulator.add_module(dispatch);
 
+  // Wall clock around the serving loop: the simulated metrics above are
+  // host-speed-invariant, this is the "how fast did the host grind
+  // through it" counterpart (workers and the service-cycle cache move
+  // this number, never the simulated ones).
+  const auto wall_start = std::chrono::steady_clock::now();
   simulator.run_events(
       [&] {
         return generator.exhausted() && batcher.pending() == 0 &&
                scheduler.idle();
       },
       config_.watchdog_cycles);
+  // Drain leftover speculative work so it is inside the wall measurement
+  // and the cache counters below are complete.
+  scheduler.quiesce();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
 
-  return metrics.finalize(
-      generator.emitted(),
-      static_cast<std::size_t>(batcher.counters().requests_rejected),
-      last_completion, config_.batcher.max_batch, batcher.counters(),
-      [&] {
-        sim::FifoStats stats = batcher.queue_stats();
-        stats += scheduler.queue_stats();
-        stats += scheduler.device_queue_stats();
-        return stats;
-      }(),
-      scheduler.device_reports(), scheduler.total_model_uploads());
+  RunTotals totals;
+  totals.offered = generator.emitted();
+  totals.rejected =
+      static_cast<std::size_t>(batcher.counters().requests_rejected);
+  totals.makespan = last_completion;
+  totals.max_batch = config_.batcher.max_batch;
+  totals.batching = batcher.counters();
+  totals.queue_stats = batcher.queue_stats();
+  totals.queue_stats += scheduler.queue_stats();
+  totals.queue_stats += scheduler.device_queue_stats();
+  totals.devices = scheduler.device_reports();
+  totals.model_uploads = scheduler.total_model_uploads();
+  totals.host_wall_seconds = wall.count();
+  totals.workers = scheduler.worker_count();
+  totals.cycle_cache_enabled = scheduler.cache_enabled();
+  totals.cycle_cache = scheduler.cache_stats();
+  return metrics.finalize(std::move(totals));
 }
 
 }  // namespace mann::serve

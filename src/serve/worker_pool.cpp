@@ -1,0 +1,91 @@
+#include "serve/worker_pool.hpp"
+
+#include <stdexcept>
+
+namespace mann::serve {
+
+WorkerPool::WorkerPool(std::size_t workers) {
+  if (workers == 0) {
+    throw std::invalid_argument("WorkerPool: need at least one worker");
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::submit(Job job) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("WorkerPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(job));
+    ++submitted_;
+  }
+  work_ready_.notify_one();
+}
+
+std::size_t WorkerPool::outstanding() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(submitted_ - completed_);
+}
+
+std::uint64_t WorkerPool::jobs_submitted() const {
+  std::lock_guard lock(mutex_);
+  return submitted_;
+}
+
+std::uint64_t WorkerPool::jobs_completed() const {
+  std::lock_guard lock(mutex_);
+  return completed_;
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [&] { return completed_ == submitted_; });
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: a speculative result computed
+      // now is still a valid cache entry, and abandoned jobs would leave
+      // wait_idle() callers blocked.
+      if (queue_.empty()) {
+        return;  // stopping_ and nothing left
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      job();
+    } catch (...) {
+      // Jobs are fire-and-forget; an escaping exception would terminate
+      // the process (thread entry) and a skipped completion would block
+      // wait_idle() forever. Failures must be reported via the job's own
+      // channel (the serving scheduler re-simulates inline and rethrows).
+    }
+    {
+      std::lock_guard lock(mutex_);
+      ++completed_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+}  // namespace mann::serve

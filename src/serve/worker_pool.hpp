@@ -1,0 +1,68 @@
+// Host-side worker pool for the parallel serving runtime.
+//
+// The serving loop is a discrete-event simulation driven by one host
+// thread, but the expensive part of every event — simulating a device
+// batch — is a pure function that does not need the simulated clock.
+// The pool runs those simulations on real threads: the Scheduler hands
+// speculative batch jobs over an MPSC queue (many producers are allowed;
+// today the simulation thread is the only one) and workers publish their
+// results into the shared ServiceCycleCache, where the dispatch path
+// picks them up. A completion count (the "queue drained" side of the
+// handoff) lets shutdown and tests barrier on outstanding work.
+//
+// Determinism: workers never touch simulation state — they only fill a
+// memo cache whose entries are pure function results — so the serving
+// timeline is bit-identical whatever the worker count or interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mann::serve {
+
+class WorkerPool {
+ public:
+  using Job = std::function<void()>;
+
+  /// Spawns `workers` threads (at least one).
+  explicit WorkerPool(std::size_t workers);
+
+  /// Drains outstanding jobs, then joins every worker.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueues a job (MPSC handoff: one lock exchange, no spinning).
+  void submit(Job job);
+
+  /// Jobs submitted but not yet finished (queued + running).
+  [[nodiscard]] std::size_t outstanding() const;
+
+  [[nodiscard]] std::uint64_t jobs_submitted() const;
+  [[nodiscard]] std::uint64_t jobs_completed() const;
+
+  /// Blocks until every submitted job has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<Job> queue_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mann::serve

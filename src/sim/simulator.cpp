@@ -47,7 +47,7 @@ Cycle Simulator::run_events(const std::function<bool()>& done,
     }
     if (skippable && horizon > now_) {
       // Clamp so the watchdog still fires instead of wrapping past it.
-      now_ = std::min(horizon, start + max_cycles);
+      advance(std::min(horizon, start + max_cycles) - now_);
       if (now_ - start >= max_cycles) {
         throw std::runtime_error(
             "Simulator: watchdog expired — all modules idle forever");

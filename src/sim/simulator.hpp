@@ -30,6 +30,14 @@ class Simulator {
   /// request arrivals over billions of cycles in bounded host time.
   Cycle run_events(const std::function<bool()>& done, Cycle max_cycles);
 
+  /// Cheap timing fast-forward: advances the clock by `cycles` without
+  /// ticking any module. run_events uses it for the quiescence jump, and
+  /// it is the replay hook for consumers that already know a stretch's
+  /// exact cycle count from a previous simulation (the service-cycle
+  /// cache replays memoized device runs this way: the clock lands
+  /// exactly where a full re-simulation would, at zero cost).
+  void advance(Cycle cycles) noexcept { now_ += cycles; }
+
   /// Total cycles ticked since construction.
   [[nodiscard]] Cycle now() const noexcept { return now_; }
 

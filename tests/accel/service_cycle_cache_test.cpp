@@ -1,0 +1,255 @@
+#include "accel/service_cycle_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/compiler.hpp"
+#include "model/memn2n.hpp"
+#include "numeric/random.hpp"
+
+namespace mann::accel {
+namespace {
+
+model::ModelConfig tiny_model_config() {
+  model::ModelConfig config;
+  config.vocab_size = 12;
+  config.embedding_dim = 8;
+  config.hops = 2;
+  config.max_memory = 8;
+  return config;
+}
+
+DeviceProgram tiny_program(std::uint64_t seed = 7) {
+  numeric::Rng rng(seed);
+  const model::MemN2N net(tiny_model_config(), rng);
+  return compile_model(net);
+}
+
+std::vector<data::EncodedStory> tiny_stories(std::size_t count,
+                                             std::int32_t offset = 0) {
+  std::vector<data::EncodedStory> stories;
+  stories.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    data::EncodedStory story;
+    const auto w = [&](std::size_t k) {
+      return static_cast<std::int32_t>((i + k + offset) % 12);
+    };
+    story.context = {{w(0), w(1)}, {w(2), w(3)}};
+    story.question = {w(4)};
+    story.answer = w(5);
+    stories.push_back(story);
+  }
+  return stories;
+}
+
+RunResult fake_result(sim::Cycle cycles) {
+  RunResult r;
+  r.total_cycles = cycles;
+  return r;
+}
+
+TEST(ServiceCycleCache, RejectsZeroCapacity) {
+  EXPECT_THROW(ServiceCycleCache(0), std::invalid_argument);
+}
+
+TEST(ServiceCycleCache, DigestDistinguishesStories) {
+  const auto a = tiny_stories(4, 0);
+  const auto b = tiny_stories(4, 1);
+  EXPECT_NE(digest_stories(a), digest_stories(b));
+  EXPECT_EQ(digest_stories(a), digest_stories(tiny_stories(4, 0)));
+  // Prefix of a batch is a different workload even if contents agree.
+  EXPECT_NE(digest_stories(a),
+            digest_stories(std::span(a.data(), 3)));
+}
+
+TEST(ServiceCycleCache, MissThenHit) {
+  ServiceCycleCache cache(4);
+  const ServiceCycleCache::Key key{1, 2, 3, false};
+
+  EXPECT_FALSE(cache.acquire(key).has_value());  // miss: caller owns it
+  cache.publish(key, fake_result(123));
+
+  const std::optional<RunResult> hit = cache.acquire(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->total_cycles, 123U);
+
+  const ServiceCycleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1U);
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.insertions, 1U);
+  EXPECT_EQ(stats.evictions, 0U);
+  EXPECT_EQ(stats.entries, 1U);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ServiceCycleCache, ResidentFlagSeparatesEntries) {
+  ServiceCycleCache cache(4);
+  const ServiceCycleCache::Key cold{1, 2, 3, false};
+  const ServiceCycleCache::Key warm{1, 2, 3, true};
+
+  EXPECT_FALSE(cache.acquire(cold).has_value());
+  cache.publish(cold, fake_result(100));
+  EXPECT_FALSE(cache.acquire(warm).has_value());  // distinct key: miss
+  cache.publish(warm, fake_result(80));
+
+  EXPECT_EQ(cache.acquire(cold)->total_cycles, 100U);
+  EXPECT_EQ(cache.acquire(warm)->total_cycles, 80U);
+}
+
+TEST(ServiceCycleCache, EvictsLeastRecentlyUsed) {
+  ServiceCycleCache cache(2);
+  const ServiceCycleCache::Key a{1, 0, 1, false};
+  const ServiceCycleCache::Key b{2, 0, 1, false};
+  const ServiceCycleCache::Key c{3, 0, 1, false};
+
+  EXPECT_FALSE(cache.acquire(a).has_value());
+  cache.publish(a, fake_result(1));
+  EXPECT_FALSE(cache.acquire(b).has_value());
+  cache.publish(b, fake_result(2));
+  // Touch `a` so `b` is the LRU entry when `c` overflows the cache.
+  EXPECT_TRUE(cache.acquire(a).has_value());
+  EXPECT_FALSE(cache.acquire(c).has_value());
+  cache.publish(c, fake_result(3));
+
+  EXPECT_EQ(cache.size(), 2U);
+  EXPECT_EQ(cache.stats().evictions, 1U);
+  EXPECT_TRUE(cache.acquire(a).has_value());   // survivor
+  EXPECT_TRUE(cache.acquire(c).has_value());   // newest
+  EXPECT_FALSE(cache.acquire(b).has_value());  // evicted: miss again
+  cache.abandon(b);
+}
+
+TEST(ServiceCycleCache, AcquireWaitsForInFlightPublish) {
+  ServiceCycleCache cache(256);
+  // The waiter can win the race and see the published entry without ever
+  // blocking; retry on fresh keys until one demonstrably waited.
+  for (int attempt = 0; attempt < 100 && cache.stats().waits == 0;
+       ++attempt) {
+    const ServiceCycleCache::Key key{
+        9, static_cast<std::uint64_t>(attempt), 1, true};
+    ASSERT_FALSE(cache.acquire(key).has_value());  // this thread owns it
+
+    std::optional<RunResult> seen;
+    std::thread waiter([&] { seen = cache.acquire(key); });
+    // Give the waiter a moment to block on the in-flight computation;
+    // publishing then wakes it with the result (a hit that waited).
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    cache.publish(key, fake_result(55));
+    waiter.join();
+
+    ASSERT_TRUE(seen.has_value());
+    EXPECT_EQ(seen->total_cycles, 55U);
+  }
+  EXPECT_GE(cache.stats().waits, 1U);
+}
+
+TEST(ServiceCycleCache, AbandonHandsComputationToWaiter) {
+  ServiceCycleCache cache(4);
+  const ServiceCycleCache::Key key{9, 9, 1, false};
+  ASSERT_FALSE(cache.acquire(key).has_value());
+
+  std::optional<RunResult> seen{fake_result(0)};  // sentinel non-empty
+  std::thread waiter([&] { seen = cache.acquire(key); });
+  cache.abandon(key);
+  waiter.join();
+
+  // The waiter took over the computation: its acquire was a miss.
+  EXPECT_FALSE(seen.has_value());
+  cache.publish(key, fake_result(7));
+  EXPECT_EQ(cache.acquire(key)->total_cycles, 7U);
+}
+
+TEST(ServiceCycleCache, ReplayIsBitIdenticalToSimulation) {
+  const Accelerator device(AccelConfig{}, tiny_program());
+  const auto stories = tiny_stories(5);
+
+  ServiceCycleCache cache(8);
+  RunOptions options;
+  options.cycle_cache = &cache;
+
+  const RunResult simulated = device.run(stories, options);
+  const RunResult replayed = device.run(stories, options);
+
+  EXPECT_EQ(cache.stats().hits, 1U);
+  EXPECT_EQ(cache.stats().misses, 1U);
+
+  EXPECT_EQ(replayed.total_cycles, simulated.total_cycles);
+  EXPECT_DOUBLE_EQ(replayed.seconds, simulated.seconds);
+  EXPECT_EQ(replayed.stream_words, simulated.stream_words);
+  EXPECT_EQ(replayed.link_active_cycles, simulated.link_active_cycles);
+  ASSERT_EQ(replayed.stories.size(), simulated.stories.size());
+  for (std::size_t i = 0; i < simulated.stories.size(); ++i) {
+    EXPECT_EQ(replayed.stories[i].prediction, simulated.stories[i].prediction);
+    EXPECT_EQ(replayed.stories[i].finish_cycle,
+              simulated.stories[i].finish_cycle);
+    EXPECT_EQ(replayed.stories[i].output_probes,
+              simulated.stories[i].output_probes);
+    EXPECT_EQ(replayed.stories[i].early_exit, simulated.stories[i].early_exit);
+  }
+  ASSERT_EQ(replayed.modules.size(), simulated.modules.size());
+  for (std::size_t i = 0; i < simulated.modules.size(); ++i) {
+    EXPECT_EQ(replayed.modules[i].name, simulated.modules[i].name);
+    EXPECT_EQ(replayed.modules[i].stats.busy_cycles,
+              simulated.modules[i].stats.busy_cycles);
+  }
+  EXPECT_EQ(replayed.fifo_in_stats.pushes, simulated.fifo_in_stats.pushes);
+  EXPECT_EQ(replayed.fifo_out_stats.pops, simulated.fifo_out_stats.pops);
+
+  // A plain uncached run agrees too: caching never changes results.
+  const RunResult uncached = device.run(stories);
+  EXPECT_EQ(uncached.total_cycles, simulated.total_cycles);
+}
+
+TEST(ServiceCycleCache, WarmAndColdRunsCacheSeparately) {
+  const Accelerator device(AccelConfig{}, tiny_program());
+  const auto stories = tiny_stories(3);
+
+  ServiceCycleCache cache(8);
+  RunOptions cold;
+  cold.cycle_cache = &cache;
+  RunOptions warm = cold;
+  warm.model_resident = true;
+
+  const RunResult cold_run = device.run(stories, cold);
+  const RunResult warm_run = device.run(stories, warm);
+  EXPECT_LT(warm_run.total_cycles, cold_run.total_cycles);
+  EXPECT_EQ(cache.stats().misses, 2U);  // distinct keys, no false sharing
+  EXPECT_EQ(device.run(stories, warm).total_cycles, warm_run.total_cycles);
+  EXPECT_EQ(cache.stats().hits, 1U);
+}
+
+TEST(ServiceCycleCache, DifferentProgramsDoNotCollide) {
+  const Accelerator first(AccelConfig{}, tiny_program(7));
+  const Accelerator second(AccelConfig{}, tiny_program(8));
+  EXPECT_NE(first.fingerprint(), second.fingerprint());
+
+  ServiceCycleCache cache(8);
+  RunOptions options;
+  options.cycle_cache = &cache;
+  const auto stories = tiny_stories(3);
+  (void)first.run(stories, options);
+  (void)second.run(stories, options);
+  EXPECT_EQ(cache.stats().misses, 2U);
+  EXPECT_EQ(cache.stats().hits, 0U);
+}
+
+TEST(ServiceCycleCache, ClearResetsEntriesAndStats) {
+  ServiceCycleCache cache(4);
+  const ServiceCycleCache::Key key{1, 2, 3, false};
+  EXPECT_FALSE(cache.acquire(key).has_value());
+  cache.publish(key, fake_result(1));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.stats().hits, 0U);
+  EXPECT_FALSE(cache.acquire(key).has_value());  // gone
+  cache.abandon(key);
+}
+
+}  // namespace
+}  // namespace mann::accel

@@ -1,0 +1,109 @@
+#include "serve/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "serve/request.hpp"
+
+namespace mann::serve {
+namespace {
+
+InferenceResponse response_with_latency(sim::Cycle enqueue, sim::Cycle done,
+                                        bool correct = true) {
+  InferenceResponse r;
+  r.id = 1;
+  r.batch_size = 4;
+  r.prediction = 3;
+  r.answer = correct ? 3 : 5;
+  r.enqueue_cycle = enqueue;
+  r.dispatch_cycle = enqueue;
+  r.complete_cycle = done;
+  return r;
+}
+
+TEST(ServingMetrics, RejectsNonPositiveClock) {
+  EXPECT_THROW(ServingMetrics(0.0), std::invalid_argument);
+  EXPECT_THROW(ServingMetrics(-1.0), std::invalid_argument);
+}
+
+TEST(ServingMetrics, EmptyWindowFinalizesToZeros) {
+  const ServingMetrics metrics(100.0e6);
+  const ServingReport report = metrics.finalize({});
+
+  EXPECT_EQ(report.completed, 0U);
+  EXPECT_DOUBLE_EQ(report.throughput_stories_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(report.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_batch_size, 0.0);
+  // Percentiles over an empty window are zero, not NaN or a crash.
+  EXPECT_DOUBLE_EQ(report.latency.p50_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(report.latency.p99_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(report.latency.max_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.queue_wait.mean_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(report.host_stories_per_second, 0.0);
+}
+
+TEST(ServingMetrics, SingleSampleCollapsesEveryPercentile) {
+  ServingMetrics metrics(100.0e6);
+  metrics.record(response_with_latency(1'000, 26'000));
+
+  RunTotals totals;
+  totals.offered = 1;
+  totals.makespan = 26'000;
+  totals.max_batch = 8;
+  const ServingReport report = metrics.finalize(std::move(totals));
+
+  ASSERT_EQ(report.completed, 1U);
+  // One observation: every quantile, the mean and the max agree on it.
+  EXPECT_DOUBLE_EQ(report.latency.p50_cycles, 25'000.0);
+  EXPECT_DOUBLE_EQ(report.latency.p95_cycles, 25'000.0);
+  EXPECT_DOUBLE_EQ(report.latency.p99_cycles, 25'000.0);
+  EXPECT_DOUBLE_EQ(report.latency.max_cycles, 25'000.0);
+  EXPECT_DOUBLE_EQ(report.latency.mean_cycles, 25'000.0);
+  EXPECT_DOUBLE_EQ(report.latency.p50_seconds, 25'000.0 / 100.0e6);
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_batch_size, 4.0);
+  EXPECT_DOUBLE_EQ(report.batching_efficiency, 0.5);
+}
+
+TEST(ServingMetrics, PercentilesOrderedOnSkewedSamples) {
+  ServingMetrics metrics(100.0e6);
+  for (sim::Cycle latency = 1; latency <= 100; ++latency) {
+    metrics.record(response_with_latency(0, latency));
+  }
+  RunTotals totals;
+  totals.offered = 100;
+  totals.makespan = 100;
+  const ServingReport report = metrics.finalize(std::move(totals));
+  EXPECT_DOUBLE_EQ(report.latency.p50_cycles, 50.0);
+  EXPECT_DOUBLE_EQ(report.latency.p95_cycles, 95.0);
+  EXPECT_DOUBLE_EQ(report.latency.p99_cycles, 99.0);
+  EXPECT_DOUBLE_EQ(report.latency.max_cycles, 100.0);
+}
+
+TEST(ServingMetrics, CarriesHostExecutionView) {
+  ServingMetrics metrics(100.0e6);
+  metrics.record(response_with_latency(0, 500));
+  metrics.record(response_with_latency(0, 700, /*correct=*/false));
+
+  RunTotals totals;
+  totals.offered = 2;
+  totals.makespan = 700;
+  totals.max_batch = 8;
+  totals.host_wall_seconds = 0.5;
+  totals.workers = 4;
+  totals.cycle_cache_enabled = true;
+  totals.cycle_cache.hits = 3;
+  totals.cycle_cache.misses = 1;
+  const ServingReport report = metrics.finalize(std::move(totals));
+
+  EXPECT_DOUBLE_EQ(report.host_wall_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(report.host_stories_per_second, 4.0);  // 2 / 0.5 s
+  EXPECT_EQ(report.workers, 4U);
+  EXPECT_TRUE(report.cycle_cache_enabled);
+  EXPECT_DOUBLE_EQ(report.cycle_cache.hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(report.accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace mann::serve

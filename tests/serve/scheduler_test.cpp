@@ -197,7 +197,9 @@ TEST(Scheduler, RejectsMalformedBatches) {
   Scheduler scheduler({.devices = 1}, task_devices(1));
   EXPECT_THROW((void)scheduler.submit(make_batch(9, stories, 1, 0)),
                std::out_of_range);
-  EXPECT_THROW((void)scheduler.submit(Batch{.task = 0}),
+  Batch empty_batch;
+  empty_batch.task = 0;
+  EXPECT_THROW((void)scheduler.submit(std::move(empty_batch)),
                std::invalid_argument);
 }
 

@@ -158,6 +158,22 @@ TEST(Simulator, RunEventsWatchdogStillFires) {
                std::runtime_error);
 }
 
+TEST(Simulator, AdvanceReplaysTimeWithoutTicking) {
+  Simulator sim;
+  CountingModule counting("count");
+  sim.add_module(counting);
+
+  // The cheap timing-replay path: the clock lands exactly where a full
+  // simulation of the recorded stretch would, but no module runs.
+  sim.advance(1'000);
+  EXPECT_EQ(sim.now(), 1'000U);
+  EXPECT_EQ(counting.ticks, 0U);
+
+  // Replayed and simulated time compose on one clock.
+  (void)sim.run_until([&] { return counting.ticks >= 5; }, 100);
+  EXPECT_EQ(sim.now(), 1'005U);
+}
+
 TEST(OpCounts, AccumulateAndTotal) {
   OpCounts a;
   a.mac = 5;
