@@ -4,25 +4,37 @@
 // trained models every other bench measures); pass --train-fallback to
 // train small stand-in tasks inline when the cache is absent.
 //
-// Three sweeps over the generator -> batcher -> scheduler -> device-pool
-// stack, then the host-execution acceptance run:
+// Sweeps over the generator -> batcher -> scheduler -> device-pool
+// stack, then the acceptance runs:
 //   1. pool size at saturating load     (throughput must scale with N)
 //   2. dynamic batch size at fixed load (batching efficiency vs latency)
 //   3. arrival rate at fixed pool       (the latency/throughput curve)
-//   4. sequential vs workers+cache      (wall-clock only; simulated
+//   4. scheduler policy at bursty load  (FIFO head-of-line vs EDF +
+//      work-stealing on a fully sharded pool with mixed per-task SLOs:
+//      EDF must match FIFO's accuracy bit-for-bit while meeting at least
+//      as many deadlines at equal-or-better p99)
+//   5. optional trace replay (--trace)  (recorded schedule, identical
+//      simulated reports across worker counts)
+//   6. sequential vs workers+cache      (wall-clock only; simulated
 //      numbers must be bit-identical)
 //
 // Expected shapes: stories/s grows with the pool until arrival-bound;
-// accuracy is identical across pool sizes (same request sequence, same
-// programs — batching and scheduling must not change predictions); p99
-// tracks queueing, not the datapath, so it collapses once the pool
-// absorbs the offered load; and the parallel runtime moves wall-clock
-// while leaving every simulated number untouched.
+// accuracy is identical across pool sizes AND scheduler policies (same
+// request set, same programs — ordering must not change predictions);
+// p99 tracks queueing, not the datapath; EDF buys its deadline hit-rate
+// from reordering and stealing, not from dropping work; and the parallel
+// runtime moves wall-clock while leaving every simulated number
+// untouched.
 //
 // Flags:
-//   --tasks K          suite tasks to serve (default 4)
+//   --tasks K          suite tasks to serve (default 4, max = suite size;
+//                      anything below the full suite logs the truncation)
 //   --requests N       acceptance-run request count (default 4000)
 //   --json PATH        write the machine-readable report (BENCH_serve.json)
+//   --policies-json P  write the FIFO-vs-EDF comparison artifact
+//   --scheduler S      acceptance-leg dispatch policy: edf (default)|fifo
+//   --eviction E       model-eviction policy: lru (default)|lfu|cost
+//   --trace PATH       also replay the recorded trace CSV (sweep 5)
 //   --parallel off     skip the workers+cache acceptance leg
 //   --wall-gate off    keep the >=3x wall speedup informational (CI perf
 //                      runs on shared machines; simulated identity still
@@ -35,6 +47,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "serve/trace.hpp"
 
 namespace {
 
@@ -44,6 +57,10 @@ struct BenchOptions {
   std::size_t tasks = 4;
   std::size_t requests = 4000;
   std::string json_path;
+  std::string policies_json_path;
+  std::string trace_path;
+  serve::SchedulerPolicy policy = serve::SchedulerPolicy::kEdf;
+  serve::EvictionPolicyKind eviction = serve::EvictionPolicyKind::kLru;
   bool parallel = true;
   bool wall_gate = true;
   bool train_fallback = false;
@@ -76,6 +93,35 @@ BenchOptions parse_args(int argc, char** argv) {
       opts.requests = positive(next());
     } else if (arg == "--json") {
       opts.json_path = next();
+    } else if (arg == "--policies-json") {
+      opts.policies_json_path = next();
+    } else if (arg == "--trace") {
+      opts.trace_path = next();
+    } else if (arg == "--scheduler") {
+      const std::string value = next();
+      if (value == "fifo") {
+        opts.policy = serve::SchedulerPolicy::kFifo;
+      } else if (value == "edf") {
+        opts.policy = serve::SchedulerPolicy::kEdf;
+      } else {
+        std::fprintf(stderr, "--scheduler must be fifo or edf, got '%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--eviction") {
+      const std::string value = next();
+      if (value == "lru") {
+        opts.eviction = serve::EvictionPolicyKind::kLru;
+      } else if (value == "lfu") {
+        opts.eviction = serve::EvictionPolicyKind::kLfu;
+      } else if (value == "cost") {
+        opts.eviction = serve::EvictionPolicyKind::kCostAware;
+      } else {
+        std::fprintf(stderr,
+                     "--eviction must be lru, lfu or cost, got '%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
     } else if (arg == "--parallel") {
       opts.parallel = std::strcmp(next(), "off") != 0;
     } else if (arg == "--wall-gate") {
@@ -85,10 +131,20 @@ BenchOptions parse_args(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: serve_throughput [--tasks K] [--requests N] "
-                   "[--json PATH] [--parallel off] [--wall-gate off] "
-                   "[--train-fallback]\n");
+                   "[--json PATH] [--policies-json PATH] [--scheduler "
+                   "fifo|edf] [--eviction lru|lfu|cost] [--trace PATH] "
+                   "[--parallel off] [--wall-gate off] [--train-fallback]\n");
       std::exit(2);
     }
+  }
+  // The suite has a fixed size; serving "task 25" would silently wrap or
+  // crash later, so reject it here with the actual bound.
+  const std::size_t suite_size = data::all_tasks().size();
+  if (opts.tasks > suite_size) {
+    std::fprintf(stderr,
+                 "--tasks %zu exceeds the %zu-task suite; pass 1..%zu\n",
+                 opts.tasks, suite_size, suite_size);
+    std::exit(2);
   }
   return opts;
 }
@@ -97,6 +153,12 @@ BenchOptions parse_args(int argc, char** argv) {
 /// quickstart-size inline training only when allowed.
 std::vector<runtime::TaskArtifacts> prepare_serving_tasks(
     const BenchOptions& opts, std::string& suite_source) {
+  const std::size_t suite_size = data::all_tasks().size();
+  if (opts.tasks < suite_size) {
+    std::printf("# serving the first %zu of %zu suite tasks (--tasks %zu "
+                "truncates the mix; pass --tasks %zu for the full suite)\n",
+                opts.tasks, suite_size, opts.tasks, suite_size);
+  }
   const runtime::PrepareConfig suite_cfg = bench::suite_config();
   if (runtime::suite_cache_complete(suite_cfg, "mann_bench_cache",
                                     opts.tasks)) {
@@ -132,24 +194,36 @@ std::vector<runtime::TaskArtifacts> prepare_serving_tasks(
   return tasks;
 }
 
+/// Mixed per-task SLOs: even tasks are "interactive" (tight deadline),
+/// odd tasks are "batch" (lax). This split is what gives EDF something
+/// FIFO cannot express — urgency that differs from arrival order.
+std::vector<sim::Cycle> mixed_slos(std::size_t tasks) {
+  std::vector<sim::Cycle> slo(tasks, 0);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    slo[t] = t % 2 == 0 ? 300'000 : 3'000'000;  // 3 ms vs 30 ms at 100 MHz
+  }
+  return slo;
+}
+
 void print_serving_header() {
-  std::printf("%-26s %10s %10s %9s %9s %9s %7s %7s %6s %8s %9s\n", "config",
-              "stories/s", "offered/s", "p50 ms", "p95 ms", "p99 ms",
-              "util", "batch", "acc", "uploads", "wall s");
-  mann::bench::print_rule(122);
+  std::printf("%-30s %10s %9s %9s %9s %6s %7s %6s %6s %7s %9s %9s\n",
+              "config", "stories/s", "p50 ms", "p95 ms", "p99 ms", "hit%",
+              "evict", "steal", "acc", "uploads", "mJ/inf", "wall s");
+  mann::bench::print_rule(128);
 }
 
 void print_serving_row(const runtime::ServingMeasurement& m) {
   const serve::ServingReport& r = m.report;
   std::printf(
-      "%-26s %10.0f %10.0f %9.3f %9.3f %9.3f %6.1f%% %7.2f %6.3f %8llu "
-      "%9.3f\n",
+      "%-30s %10.0f %9.3f %9.3f %9.3f %5.1f%% %7llu %6llu %6.3f %7llu "
+      "%9.4f %9.3f\n",
       m.config_name.c_str(), r.throughput_stories_per_second,
-      r.offered_stories_per_second, r.latency.p50_seconds * 1e3,
-      r.latency.p95_seconds * 1e3, r.latency.p99_seconds * 1e3,
-      r.mean_device_utilization * 100.0, r.mean_batch_size, r.accuracy,
+      r.latency.p50_seconds * 1e3, r.latency.p95_seconds * 1e3,
+      r.latency.p99_seconds * 1e3, r.deadline_hit_rate * 100.0,
+      static_cast<unsigned long long>(r.model_evictions),
+      static_cast<unsigned long long>(r.stolen_batches), r.accuracy,
       static_cast<unsigned long long>(r.model_uploads),
-      r.host_wall_seconds);
+      r.energy.per_inference_joules * 1e3, r.host_wall_seconds);
 }
 
 /// Simulated numbers must not move when host execution changes.
@@ -162,7 +236,65 @@ bool simulated_reports_identical(const serve::ServingReport& a,
          a.latency.p99_cycles == b.latency.p99_cycles &&
          a.latency.max_cycles == b.latency.max_cycles &&
          a.model_uploads == b.model_uploads &&
+         a.model_evictions == b.model_evictions &&
+         a.stolen_batches == b.stolen_batches &&
+         a.deadline_missed == b.deadline_missed &&
+         a.energy.per_inference_joules == b.energy.per_inference_joules &&
          a.batching.batches_out == b.batching.batches_out;
+}
+
+void write_policy_json(std::FILE* f, const char* key,
+                       const serve::ServingReport& r, bool trailing_comma) {
+  std::fprintf(f, "  \"%s\": {\n", key);
+  std::fprintf(f, "    \"throughput_stories_per_second\": %.6f,\n",
+               r.throughput_stories_per_second);
+  std::fprintf(f, "    \"p50_ms\": %.6f,\n", r.latency.p50_seconds * 1e3);
+  std::fprintf(f, "    \"p95_ms\": %.6f,\n", r.latency.p95_seconds * 1e3);
+  std::fprintf(f, "    \"p99_ms\": %.6f,\n", r.latency.p99_seconds * 1e3);
+  std::fprintf(f, "    \"accuracy\": %.6f,\n", r.accuracy);
+  std::fprintf(f, "    \"deadline_hit_rate\": %.6f,\n", r.deadline_hit_rate);
+  std::fprintf(f, "    \"deadline_missed\": %llu,\n",
+               static_cast<unsigned long long>(r.deadline_missed));
+  std::fprintf(f, "    \"model_uploads\": %llu,\n",
+               static_cast<unsigned long long>(r.model_uploads));
+  std::fprintf(f, "    \"model_evictions\": %llu,\n",
+               static_cast<unsigned long long>(r.model_evictions));
+  std::fprintf(f, "    \"stolen_batches\": %llu,\n",
+               static_cast<unsigned long long>(r.stolen_batches));
+  std::fprintf(f, "    \"energy_per_inference_joules\": %.9f\n",
+               r.energy.per_inference_joules);
+  std::fprintf(f, "  }%s\n", trailing_comma ? "," : "");
+}
+
+/// FIFO-vs-EDF comparison artifact (uploaded by the CI perf job so a
+/// policy regression is diagnosable straight from the Actions tab).
+void write_policies_json(const BenchOptions& opts,
+                         const runtime::ServingOptions& workload,
+                         const serve::ServingReport& fifo,
+                         const serve::ServingReport& edf,
+                         bool edf_worker_identical) {
+  std::FILE* f = std::fopen(opts.policies_json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n",
+                 opts.policies_json_path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve_policy_compare\",\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"tasks\": %zu,\n", opts.tasks);
+  std::fprintf(f, "  \"requests\": %zu,\n", workload.requests);
+  std::fprintf(f, "  \"devices\": %zu,\n", workload.pool_devices);
+  std::fprintf(f, "  \"process\": \"bursty\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(workload.seed));
+  std::fprintf(f, "  \"edf_identical_across_workers\": %s,\n",
+               edf_worker_identical ? "true" : "false");
+  write_policy_json(f, "fifo", fifo, /*trailing_comma=*/true);
+  write_policy_json(f, "edf", edf, /*trailing_comma=*/false);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", opts.policies_json_path.c_str());
 }
 
 void write_json(const BenchOptions& opts, const std::string& suite_source,
@@ -180,12 +312,16 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
   const serve::ServingReport& r = opts.parallel ? parallel : sequential;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"serve_throughput\",\n");
-  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"schema\": 2,\n");
   std::fprintf(f, "  \"suite_source\": \"%s\",\n", suite_source.c_str());
   std::fprintf(f, "  \"tasks\": %zu,\n", opts.tasks);
   std::fprintf(f, "  \"requests\": %zu,\n", opts.requests);
   std::fprintf(f, "  \"devices\": %zu,\n", accept.pool_devices);
   std::fprintf(f, "  \"max_batch\": %zu,\n", accept.max_batch);
+  std::fprintf(f, "  \"scheduler_policy\": \"%s\",\n",
+               serve::scheduler_policy_name(accept.policy));
+  std::fprintf(f, "  \"eviction_policy\": \"%s\",\n",
+               serve::eviction_policy_name(accept.eviction));
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(accept.seed));
   std::fprintf(f, "  \"simulated\": {\n");
@@ -198,8 +334,20 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
   std::fprintf(f, "    \"p99_ms\": %.6f,\n", r.latency.p99_seconds * 1e3);
   std::fprintf(f, "    \"accuracy\": %.6f,\n", r.accuracy);
   std::fprintf(f, "    \"mean_batch_size\": %.6f,\n", r.mean_batch_size);
-  std::fprintf(f, "    \"model_uploads\": %llu\n",
+  std::fprintf(f, "    \"deadline_hit_rate\": %.6f,\n", r.deadline_hit_rate);
+  std::fprintf(f, "    \"deadline_missed\": %llu,\n",
+               static_cast<unsigned long long>(r.deadline_missed));
+  std::fprintf(f, "    \"model_uploads\": %llu,\n",
                static_cast<unsigned long long>(r.model_uploads));
+  std::fprintf(f, "    \"model_evictions\": %llu,\n",
+               static_cast<unsigned long long>(r.model_evictions));
+  std::fprintf(f, "    \"stolen_batches\": %llu,\n",
+               static_cast<unsigned long long>(r.stolen_batches));
+  std::fprintf(f, "    \"energy_total_joules\": %.9f,\n",
+               r.energy.total_joules);
+  std::fprintf(f, "    \"mean_power_watts\": %.6f,\n", r.energy.mean_watts);
+  std::fprintf(f, "    \"energy_per_inference_joules\": %.9f\n",
+               r.energy.per_inference_joules);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"host\": {\n");
   std::fprintf(f, "    \"sequential_wall_seconds\": %.6f%s\n",
@@ -246,6 +394,7 @@ int main(int argc, char** argv) {
   base.max_batch = 8;
   base.max_wait_cycles = 200'000;
   base.seed = 2019;
+  base.eviction = opts.eviction;
 
   bench::print_header(
       "Serving sweep 1: device-pool size at saturating load "
@@ -272,7 +421,8 @@ int main(int argc, char** argv) {
   }
 
   bench::print_header(
-      "Serving sweep 3: arrival rate (N=2, B=8, Poisson vs bursty)");
+      "Serving sweep 3: arrival rate (N=2, B=8, Poisson vs bursty vs "
+      "diurnal)");
   print_serving_header();
   runtime::ServingOptions sweep3 = base;
   sweep3.pool_devices = 2;
@@ -283,6 +433,11 @@ int main(int argc, char** argv) {
     sweep3.process = serve::ArrivalProcess::kBursty;
     print_serving_row(runtime::measure_serving(tasks, sweep3));
   }
+  sweep3.mean_interarrival_cycles = 10'000.0;
+  sweep3.process = serve::ArrivalProcess::kDiurnal;
+  sweep3.diurnal_amplitude = 0.6;
+  sweep3.diurnal_period_cycles = 2.0e6;
+  print_serving_row(runtime::measure_serving(tasks, sweep3));
 
   // Simulated-scaling acceptance: invariants against the N=1 baseline.
   const serve::ServingReport& one = pool_rows.front().report;
@@ -299,11 +454,102 @@ int main(int argc, char** argv) {
                           four.latency.p99_cycles <= one.latency.p99_cycles;
   std::printf("scaling check: %s\n", scaling_ok ? "PASS" : "FAIL");
 
+  // Policy acceptance: FIFO head-of-line vs EDF + work-stealing on a
+  // fully sharded pool under bursty load with mixed per-task SLOs. The
+  // sharded pool is the hard case for FIFO (one overloaded shard blocks
+  // the global head while other slots idle) and exactly where EDF's
+  // stealing pays.
+  bench::print_header(
+      "Serving sweep 4: scheduler policy — FIFO head-of-line vs EDF + "
+      "work-stealing (N=4 dedicated, B=8, bursty, mixed 3/30 ms SLOs)");
+  print_serving_header();
+  runtime::ServingOptions policy_load = base;
+  policy_load.pool_devices = 4;
+  policy_load.dedicated_devices = 4;
+  policy_load.process = serve::ArrivalProcess::kBursty;
+  policy_load.mean_interarrival_cycles = 2'000.0;
+  policy_load.requests = opts.requests;
+  policy_load.slo_per_task = mixed_slos(tasks.size());
+
+  policy_load.policy = serve::SchedulerPolicy::kFifo;
+  const runtime::ServingMeasurement fifo =
+      runtime::measure_serving(tasks, policy_load);
+  print_serving_row(fifo);
+  policy_load.policy = serve::SchedulerPolicy::kEdf;
+  const runtime::ServingMeasurement edf =
+      runtime::measure_serving(tasks, policy_load);
+  print_serving_row(edf);
+  // EDF's timeline must not depend on host workers either.
+  policy_load.workers = 4;
+  const runtime::ServingMeasurement edf_workers =
+      runtime::measure_serving(tasks, policy_load);
+  policy_load.workers = 0;
+  const bool edf_worker_identical =
+      simulated_reports_identical(edf.report, edf_workers.report);
+
+  std::printf(
+      "\nFIFO -> EDF: deadline hit %.1f%% -> %.1f%% (must not drop); p99 "
+      "%.3f ms -> %.3f ms (must not grow); accuracy %.4f -> %.4f (must be "
+      "equal); stolen batches %llu; EDF workers=4 simulated reports %s\n",
+      fifo.report.deadline_hit_rate * 100.0,
+      edf.report.deadline_hit_rate * 100.0,
+      fifo.report.latency.p99_seconds * 1e3,
+      edf.report.latency.p99_seconds * 1e3, fifo.report.accuracy,
+      edf.report.accuracy,
+      static_cast<unsigned long long>(edf.report.stolen_batches),
+      edf_worker_identical ? "identical" : "DIVERGED");
+  const bool policy_ok =
+      edf.report.deadline_hit_rate >= fifo.report.deadline_hit_rate &&
+      edf.report.latency.p99_cycles <= fifo.report.latency.p99_cycles &&
+      edf.report.accuracy == fifo.report.accuracy &&
+      edf.report.completed == fifo.report.completed &&
+      edf_worker_identical;
+  std::printf("policy check (hit-rate >=, p99 <=, accuracy ==, "
+              "worker-identical): %s\n",
+              policy_ok ? "PASS" : "FAIL");
+  if (!opts.policies_json_path.empty()) {
+    write_policies_json(opts, policy_load, fifo.report, edf.report,
+                        edf_worker_identical);
+  }
+
+  // Optional trace replay: the recorded schedule served end-to-end, with
+  // the simulated report invariant across worker counts.
+  bool trace_ok = true;
+  if (!opts.trace_path.empty()) {
+    bench::print_header(
+        "Serving sweep 5: trace replay (recorded arrival schedule)");
+    print_serving_header();
+    runtime::ServingOptions trace_load = base;
+    trace_load.process = serve::ArrivalProcess::kTrace;
+    trace_load.trace = serve::load_trace_csv(opts.trace_path);
+    // Traces may name any suite task; a truncated --tasks run can only
+    // replay the tasks it loaded.
+    for (serve::TraceEntry& entry : trace_load.trace) {
+      entry.task %= tasks.size();
+    }
+    trace_load.pool_devices = 4;
+    trace_load.dedicated_devices = 4;
+    trace_load.requests = trace_load.trace.size();
+    trace_load.slo_per_task = mixed_slos(tasks.size());
+    const runtime::ServingMeasurement replay =
+        runtime::measure_serving(tasks, trace_load);
+    print_serving_row(replay);
+    trace_load.workers = 4;
+    const runtime::ServingMeasurement replay_workers =
+        runtime::measure_serving(tasks, trace_load);
+    print_serving_row(replay_workers);
+    trace_ok = simulated_reports_identical(replay.report,
+                                           replay_workers.report);
+    std::printf("trace replay check (identical simulation across worker "
+                "counts): %s\n",
+                trace_ok ? "PASS" : "FAIL");
+  }
+
   // Host-execution acceptance: the same saturating workload, once on the
-  // sequential PR-1 path and once with one worker per device slot plus a
+  // sequential path and once with one worker per device slot plus a
   // fresh service-cycle cache. Only wall-clock may move.
   bench::print_header(
-      "Serving sweep 4: host execution — sequential vs workers + "
+      "Serving sweep 6: host execution — sequential vs workers + "
       "service-cycle cache (N=4 dedicated, B=8, interarrival 500 cycles)");
   print_serving_header();
   runtime::ServingOptions accept = base;
@@ -313,6 +559,8 @@ int main(int argc, char** argv) {
   accept.dedicated_devices = 4;
   accept.mean_interarrival_cycles = 500.0;
   accept.requests = opts.requests;
+  accept.policy = opts.policy;
+  accept.slo_per_task = mixed_slos(tasks.size());
 
   accept.workers = 0;
   const runtime::ServingMeasurement sequential =
@@ -371,7 +619,9 @@ int main(int argc, char** argv) {
       "(sweep 1); larger batches raise\nthroughput and batching "
       "efficiency at some p50 cost (sweep 2); p99 explodes only when "
       "the pool\nsaturates, and bursty traffic pays more p99 than "
-      "Poisson at equal mean load (sweep 3);\nworkers + cache move only "
-      "the wall column (sweep 4).\n");
-  return scaling_ok && parallel_ok ? 0 : 1;
+      "Poisson at equal mean load (sweep 3);\nEDF + stealing meets more "
+      "deadlines than FIFO at equal accuracy (sweep 4); trace replay\nis "
+      "worker-count invariant (sweep 5); workers + cache move only the "
+      "wall column (sweep 6).\n");
+  return scaling_ok && policy_ok && trace_ok && parallel_ok ? 0 : 1;
 }

@@ -36,6 +36,10 @@ int main() {
   options.max_wait_cycles = 200'000;  // 2 ms at 100 MHz
   options.mean_interarrival_cycles = 10'000.0;
   options.requests = 200;
+  // Deadline-aware dispatch (the default policy): every request carries
+  // a 5 ms SLO, and the report below shows how many were met.
+  options.policy = serve::SchedulerPolicy::kEdf;
+  options.slo_default_deadline_cycles = 500'000;  // 5 ms at 100 MHz
 
   const runtime::ServingMeasurement m =
       runtime::measure_serving(tasks, options);
@@ -60,6 +64,21 @@ int main() {
               static_cast<unsigned long long>(r.batching.batches_out));
   std::printf("serving accuracy: %.3f (early-exit %.1f%%)\n", r.accuracy,
               r.early_exit_rate * 100.0);
+  std::printf("SLO: %.1f%% of deadlines met (%llu missed of %llu); "
+              "%llu model evictions\n",
+              r.deadline_hit_rate * 100.0,
+              static_cast<unsigned long long>(r.deadline_missed),
+              static_cast<unsigned long long>(r.deadline_total),
+              static_cast<unsigned long long>(r.model_evictions));
+  std::printf("energy: %.2f J total (%.1f W mean), %.3f mJ per "
+              "inference\n",
+              r.energy.total_joules, r.energy.mean_watts,
+              r.energy.per_inference_joules * 1e3);
+  for (const serve::TaskSloReport& slo : r.task_slo) {
+    std::printf("  task %zu: %llu answered, SLO hit %.1f%%\n", slo.task,
+                static_cast<unsigned long long>(slo.completed),
+                slo.hit_rate() * 100.0);
+  }
   for (const serve::DeviceReport& d : r.devices) {
     std::printf("  device %zu: %llu batches, %llu stories, %llu uploads\n",
                 d.id, static_cast<unsigned long long>(d.batches),

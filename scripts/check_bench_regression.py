@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
 """Gate a BENCH_serve.json run against the checked-in baseline.
 
-Usage: check_bench_regression.py CURRENT BASELINE [--threshold 0.20]
+Usage: check_bench_regression.py CURRENT BASELINE
+           [--threshold 0.20] [--energy-threshold 0.20]
 
 Fails (exit 1) when:
-  * simulated throughput regressed by more than the threshold,
+  * simulated throughput regressed by more than --threshold,
+  * simulated energy-per-inference grew by more than --energy-threshold
+    (the paper's headline claim is energy efficiency; a PR that makes
+    every inference cost more joules is a regression even at equal
+    throughput),
   * simulated accuracy dropped (bit-stable given the seed, so any drop
     is a real behaviour change),
+  * the simulated deadline hit-rate dropped by more than a point,
   * the parallel leg's simulated report diverged from the sequential
     path (reports_identical == false).
 
@@ -31,6 +37,9 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="maximum tolerated fractional throughput drop")
+    parser.add_argument("--energy-threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional growth of "
+                             "energy-per-inference")
     args = parser.parse_args()
 
     current = load(args.current)
@@ -41,12 +50,12 @@ def main():
     # Simulated numbers only compare on the identical workload; refuse to
     # gate across differing bench configurations.
     for key in ("schema", "tasks", "requests", "devices", "max_batch",
-                "seed"):
+                "scheduler_policy", "eviction_policy", "seed"):
         if current.get(key) != baseline.get(key):
             failures.append(
                 f"workload mismatch on '{key}': current "
                 f"{current.get(key)!r} vs baseline {baseline.get(key)!r} "
-                f"(regenerate bench/BENCH_serve_baseline.json)")
+                f"(regenerate with scripts/update_bench_baseline.sh)")
 
     cur_sim = current["simulated"]
     base_sim = baseline["simulated"]
@@ -60,11 +69,39 @@ def main():
         failures.append(
             f"throughput regressed {drop:.1%} (> {args.threshold:.0%})")
 
+    cur_energy = cur_sim.get("energy_per_inference_joules")
+    base_energy = base_sim.get("energy_per_inference_joules")
+    if cur_energy is None or base_energy is None:
+        failures.append("energy_per_inference_joules missing (schema < 2? "
+                        "regenerate with scripts/update_bench_baseline.sh)")
+    elif base_energy <= 0:
+        # A zero baseline would make the growth ratio meaningless and
+        # silently disable this gate; it can only come from a broken run.
+        failures.append(
+            f"baseline energy_per_inference_joules is {base_energy!r} — "
+            "regenerate with scripts/update_bench_baseline.sh")
+    else:
+        growth = (cur_energy - base_energy) / base_energy
+        print(f"energy/inference: {cur_energy * 1e3:.4f} mJ vs baseline "
+              f"{base_energy * 1e3:.4f} mJ ({growth:+.1%})")
+        if growth > args.energy_threshold:
+            failures.append(
+                f"energy per inference grew {growth:.1%} "
+                f"(> {args.energy_threshold:.0%})")
+
     cur_acc = cur_sim["accuracy"]
     base_acc = base_sim["accuracy"]
     print(f"accuracy: {cur_acc:.6f} vs baseline {base_acc:.6f}")
     if cur_acc < base_acc - 1e-9:
         failures.append(f"accuracy dropped {base_acc:.6f} -> {cur_acc:.6f}")
+
+    cur_hit = cur_sim.get("deadline_hit_rate")
+    base_hit = base_sim.get("deadline_hit_rate")
+    if cur_hit is not None and base_hit is not None:
+        print(f"deadline hit rate: {cur_hit:.1%} vs baseline {base_hit:.1%}")
+        if cur_hit < base_hit - 0.01:
+            failures.append(
+                f"deadline hit rate dropped {base_hit:.1%} -> {cur_hit:.1%}")
 
     for key in ("p50_ms", "p99_ms"):
         print(f"{key}: {cur_sim[key]:.3f} vs baseline {base_sim[key]:.3f}")

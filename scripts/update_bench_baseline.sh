@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Refreshes bench/BENCH_serve_baseline.json with the CI perf job's exact
+# workload (full 20-task suite, 4000 requests, EDF + LRU, wall gate
+# informational). Run after any intentional serving-performance change,
+# commit the result, and say why in the commit message.
+#
+#   scripts/update_bench_baseline.sh [BUILD_DIR]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+if [[ ! -d mann_bench_cache ]]; then
+  echo "error: mann_bench_cache/ not found — the baseline must come from" >&2
+  echo "the committed suite models, not --train-fallback stand-ins" >&2
+  exit 1
+fi
+
+cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target serve_throughput
+
+# Exactly the CI perf invocation (see .github/workflows/ci.yml), with
+# only the artifact destinations swapped.
+"${build_dir}/bench/serve_throughput" \
+  --tasks 20 --requests 4000 --wall-gate off \
+  --trace bench/traces/sample_diurnal.csv \
+  --json bench/BENCH_serve_baseline.json \
+  --policies-json /dev/null
+
+echo
+echo "wrote bench/BENCH_serve_baseline.json — self-check against it:"
+python3 scripts/check_bench_regression.py \
+  bench/BENCH_serve_baseline.json bench/BENCH_serve_baseline.json

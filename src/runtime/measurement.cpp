@@ -222,11 +222,20 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
   config.accel.ith_enabled = options.ith;
   config.traffic.process = options.process;
   config.traffic.mean_interarrival_cycles = options.mean_interarrival_cycles;
+  config.traffic.diurnal_amplitude = options.diurnal_amplitude;
+  config.traffic.diurnal_period_cycles = options.diurnal_period_cycles;
+  config.traffic.trace = options.trace;
+  config.traffic.slo.default_deadline_cycles =
+      options.slo_default_deadline_cycles;
+  config.traffic.slo.per_task = options.slo_per_task;
   config.traffic.seed = options.seed;
   config.batcher.max_batch = options.max_batch;
   config.batcher.max_wait_cycles = options.max_wait_cycles;
   config.scheduler.devices = options.pool_devices;
   config.scheduler.dedicated_devices = options.dedicated_devices;
+  config.scheduler.policy = options.policy;
+  config.scheduler.work_stealing = options.work_stealing;
+  config.scheduler.eviction = options.eviction;
   config.scheduler.workers = options.workers;
   config.scheduler.cache_capacity = options.cache_capacity;
   config.scheduler.cycle_cache = options.cycle_cache;
@@ -239,7 +248,8 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
       " B=" + std::to_string(options.max_batch) + " ia=" +
       std::to_string(static_cast<long long>(
           options.mean_interarrival_cycles)) +
-      "cy" + (options.ith ? " + ITH" : "");
+      "cy " + serve::scheduler_policy_name(options.policy) +
+      (options.ith ? " + ITH" : "");
   if (options.workers > 0) {
     measurement.config_name += " W=" + std::to_string(options.workers);
   }

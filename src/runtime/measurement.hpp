@@ -110,6 +110,19 @@ struct ServingOptions {
   sim::Cycle max_wait_cycles = 200'000;
   serve::ArrivalProcess process = serve::ArrivalProcess::kPoisson;
   double mean_interarrival_cycles = 50'000.0;
+  /// Diurnal process only: rate modulation amplitude [0,1) and period.
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_cycles = 10.0e6;
+  /// Trace replay only: the recorded arrival schedule.
+  std::vector<serve::TraceEntry> trace;
+  /// Per-task completion deadlines (sim::kNever = no SLO). `slo_per_task`
+  /// entries of 0 fall back to the default.
+  sim::Cycle slo_default_deadline_cycles = sim::kNever;
+  std::vector<sim::Cycle> slo_per_task;
+  /// Dispatch policy, work-stealing and model-eviction policy.
+  serve::SchedulerPolicy policy = serve::SchedulerPolicy::kEdf;
+  bool work_stealing = true;
+  serve::EvictionPolicyKind eviction = serve::EvictionPolicyKind::kLru;
   std::size_t requests = 500;
   std::uint64_t seed = 2019;
   bool ith = false;

@@ -109,6 +109,7 @@ Batch Batcher::flush_task(std::size_t task, sim::Cycle /*now*/) {
   batch.stories.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
     InferenceRequest request = *q.try_pop();
+    batch.deadline = std::min(batch.deadline, request.deadline_cycle);
     batch.stories.push_back(*request.story);
     batch.requests.push_back(request);
   }

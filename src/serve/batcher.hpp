@@ -34,6 +34,9 @@ struct Batch {
   std::size_t task = 0;
   std::vector<InferenceRequest> requests;
   std::vector<data::EncodedStory> stories;  ///< parallel to requests
+  /// Earliest member deadline — the urgency the EDF scheduler orders by
+  /// (sim::kNever when no member carries an SLO).
+  sim::Cycle deadline = sim::kNever;
 
   [[nodiscard]] std::size_t size() const noexcept { return requests.size(); }
 };

@@ -1,0 +1,76 @@
+#include "serve/eviction.hpp"
+
+#include <stdexcept>
+#include <tuple>
+
+namespace mann::serve {
+
+namespace {
+
+/// Shared argmin over a strict-weak-order key; candidates are slot-id
+/// ordered, so "first minimum wins" is the lowest-slot tie-break.
+template <typename KeyFn>
+[[nodiscard]] std::size_t argmin(
+    std::span<const EvictionCandidate> candidates, KeyFn key) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("EvictionPolicy: no candidates");
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (key(candidates[i]) < key(candidates[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t LruEviction::pick_victim(
+    std::span<const EvictionCandidate> candidates) const {
+  return argmin(candidates, [](const EvictionCandidate& c) {
+    return c.last_dispatch_cycle;
+  });
+}
+
+std::size_t LfuEviction::pick_victim(
+    std::span<const EvictionCandidate> candidates) const {
+  return argmin(candidates, [](const EvictionCandidate& c) {
+    return std::make_tuple(c.resident_task_dispatches,
+                           c.last_dispatch_cycle);
+  });
+}
+
+std::size_t CostAwareEviction::pick_victim(
+    std::span<const EvictionCandidate> candidates) const {
+  return argmin(candidates, [](const EvictionCandidate& c) {
+    return std::make_tuple(c.reload_cycles, c.last_dispatch_cycle);
+  });
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    EvictionPolicyKind kind) {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return std::make_unique<LruEviction>();
+    case EvictionPolicyKind::kLfu:
+      return std::make_unique<LfuEviction>();
+    case EvictionPolicyKind::kCostAware:
+      return std::make_unique<CostAwareEviction>();
+  }
+  throw std::invalid_argument("make_eviction_policy: unknown kind");
+}
+
+const char* eviction_policy_name(EvictionPolicyKind kind) noexcept {
+  switch (kind) {
+    case EvictionPolicyKind::kLru:
+      return "lru";
+    case EvictionPolicyKind::kLfu:
+      return "lfu";
+    case EvictionPolicyKind::kCostAware:
+      return "cost";
+  }
+  return "unknown";
+}
+
+}  // namespace mann::serve

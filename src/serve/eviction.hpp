@@ -1,0 +1,100 @@
+// Model-eviction policies for the device pool.
+//
+// A pool slot holds one task's program in BRAM; dispatching a different
+// task to it evicts the resident model and re-pays the upload when that
+// model next runs. Before this interface existed the victim was whatever
+// free slot happened to come first (last-program-wins), so swaps were
+// accidents of slot ordering. The scheduler now asks a policy to choose
+// the victim among the free slots whose residents would have to go:
+//
+//   * LRU        — evict the least recently dispatched resident; recency
+//                  approximates reuse for round-robin serving corpora.
+//   * LFU        — evict the resident whose task has the fewest lifetime
+//                  dispatches; protects hot models from one-off tasks.
+//   * cost-aware — evict the resident that is cheapest to bring back,
+//                  measured as the task's observed cold-minus-warm cycle
+//                  delta (the model-upload cost the ServiceCycleCache
+//                  exposes by memoizing both variants of a workload).
+//
+// Policies are pure choice functions over the candidate view the
+// scheduler assembles — all recency/frequency/cost bookkeeping lives in
+// the scheduler, so a policy cannot desynchronize from the pool state
+// and custom policies stay trivial to write.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "sim/types.hpp"
+
+namespace mann::serve {
+
+enum class EvictionPolicyKind : std::uint8_t {
+  kLru,
+  kLfu,
+  kCostAware,
+};
+
+/// One free slot whose resident model would be evicted, with the stats a
+/// policy may weigh. Candidates arrive ordered by slot id.
+struct EvictionCandidate {
+  std::size_t slot = 0;
+  std::size_t resident_task = 0;
+  /// Serving-clock cycle of the slot's last dispatch (recency of use).
+  sim::Cycle last_dispatch_cycle = 0;
+  /// Lifetime dispatches of the resident task across the whole pool
+  /// (frequency of use).
+  std::uint64_t resident_task_dispatches = 0;
+  /// Estimated cycles to re-upload the resident model if evicted: the
+  /// task's observed cold-minus-warm service delta (its first cold run
+  /// while only that is known, 0 before any observation).
+  sim::Cycle reload_cycles = 0;
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Picks the victim: an index into `candidates` (never empty). Must be
+  /// deterministic — the serving timeline replays bit-identically only if
+  /// every choice is a pure function of the candidate view.
+  [[nodiscard]] virtual std::size_t pick_victim(
+      std::span<const EvictionCandidate> candidates) const = 0;
+};
+
+/// Least-recently-used resident goes first; ties fall to the lower slot.
+class LruEviction final : public EvictionPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "lru"; }
+  [[nodiscard]] std::size_t pick_victim(
+      std::span<const EvictionCandidate> candidates) const override;
+};
+
+/// Least-frequently-dispatched resident goes first; ties fall to LRU
+/// order, then the lower slot.
+class LfuEviction final : public EvictionPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "lfu"; }
+  [[nodiscard]] std::size_t pick_victim(
+      std::span<const EvictionCandidate> candidates) const override;
+};
+
+/// Cheapest-to-reload resident goes first; ties fall to LRU order, then
+/// the lower slot.
+class CostAwareEviction final : public EvictionPolicy {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "cost"; }
+  [[nodiscard]] std::size_t pick_victim(
+      std::span<const EvictionCandidate> candidates) const override;
+};
+
+[[nodiscard]] std::unique_ptr<EvictionPolicy> make_eviction_policy(
+    EvictionPolicyKind kind);
+
+[[nodiscard]] const char* eviction_policy_name(
+    EvictionPolicyKind kind) noexcept;
+
+}  // namespace mann::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace mann::serve {
 
@@ -39,8 +40,9 @@ LatencySummary summarize(const numeric::Histogram& hist, double clock_hz) {
 }  // namespace
 
 ServingMetrics::ServingMetrics(double clock_hz, std::size_t histogram_bins,
-                               double histogram_hi_cycles)
-    : clock_hz_(clock_hz),
+                               double histogram_hi_cycles,
+                               power::FpgaPowerConfig power_config)
+    : clock_hz_(clock_hz), power_config_(power_config),
       latency_(0.0F, static_cast<float>(histogram_hi_cycles), histogram_bins),
       queue_wait_(0.0F, static_cast<float>(histogram_hi_cycles),
                   histogram_bins) {
@@ -56,6 +58,21 @@ void ServingMetrics::record(const InferenceResponse& response) {
   batch_size_sum_ += response.batch_size;
   latency_.add(static_cast<float>(response.latency_cycles()));
   queue_wait_.add(static_cast<float>(response.queue_cycles()));
+
+  if (response.task >= per_task_.size()) {
+    per_task_.resize(response.task + 1);
+  }
+  TaskCounters& task = per_task_[response.task];
+  task.seen = true;
+  ++task.completed;
+  if (response.has_deadline()) {
+    ++deadline_total_;
+    ++task.with_deadline;
+    if (!response.deadline_met()) {
+      ++deadline_missed_;
+      ++task.violations;
+    }
+  }
 }
 
 ServingReport ServingMetrics::finalize(RunTotals totals) const {
@@ -85,10 +102,32 @@ ServingReport ServingMetrics::finalize(RunTotals totals) const {
   }
   report.latency = summarize(latency_, clock_hz_);
   report.queue_wait = summarize(queue_wait_, clock_hz_);
+
+  report.deadline_total = deadline_total_;
+  report.deadline_missed = deadline_missed_;
+  report.deadline_hit_rate =
+      deadline_total_ == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(deadline_missed_) /
+                      static_cast<double>(deadline_total_);
+  for (std::size_t t = 0; t < per_task_.size(); ++t) {
+    if (!per_task_[t].seen) {
+      continue;
+    }
+    TaskSloReport slo;
+    slo.task = t;
+    slo.completed = per_task_[t].completed;
+    slo.with_deadline = per_task_[t].with_deadline;
+    slo.violations = per_task_[t].violations;
+    report.task_slo.push_back(slo);
+  }
+
   report.batching = totals.batching;
   report.queue_stats = totals.queue_stats;
   report.devices = std::move(totals.devices);
   report.model_uploads = totals.model_uploads;
+  report.model_evictions = totals.model_evictions;
+  report.stolen_batches = totals.stolen_batches;
   report.host_wall_seconds = totals.host_wall_seconds;
   if (totals.host_wall_seconds > 0.0) {
     report.host_stories_per_second =
@@ -105,6 +144,29 @@ ServingReport ServingMetrics::finalize(RunTotals totals) const {
     }
     report.mean_device_utilization =
         utilization / static_cast<double>(report.devices.size());
+  }
+
+  // Serving energy: per-op dynamic energy over every dispatched run, the
+  // host link while it moved words, and the static + clock-tree draw of
+  // every pool device across the whole makespan (idle devices still
+  // burn it — that is exactly why utilization matters for efficiency).
+  const power::FpgaPowerModel power_model(power_config_);
+  ServingEnergy& energy = report.energy;
+  energy.dynamic_joules = power_model.op_energy(totals.device_ops);
+  energy.link_joules = static_cast<double>(totals.link_active_cycles) /
+                       clock_hz_ * power_config_.link_active_watts;
+  const double device_watts =
+      power_config_.static_watts + power_config_.clock_watts_per_hz * clock_hz_;
+  energy.static_joules = device_watts * report.seconds *
+                         static_cast<double>(report.devices.size());
+  energy.total_joules =
+      energy.dynamic_joules + energy.link_joules + energy.static_joules;
+  if (report.seconds > 0.0) {
+    energy.mean_watts = energy.total_joules / report.seconds;
+  }
+  if (completed_ > 0) {
+    energy.per_inference_joules =
+        energy.total_joules / static_cast<double>(completed_);
   }
   return report;
 }

@@ -1,10 +1,18 @@
-// Serving metrics: latency distribution, throughput, utilization and
-// batching efficiency, accumulated per response and folded into one
-// ServingReport at the end of a run.
+// Serving metrics: latency distribution, throughput, utilization,
+// batching efficiency, SLO attainment and serving energy, accumulated
+// per response and folded into one ServingReport at the end of a run.
 //
 // Latencies are accumulated in a numeric::Histogram (which retains raw
 // samples), so the report carries both exact percentiles and a binned
 // distribution without a second pass over the responses.
+//
+// Energy: the accelerator's activity-based power model (src/power) folds
+// the pool's aggregate op counts, the host-link activity and the
+// static + clock-tree draw of every device over the makespan into
+// joules — and joules-per-inference, the serving-level form of the
+// paper's energy-efficiency claim. All inputs are simulated quantities,
+// so the energy numbers are deterministic given the seed and CI can gate
+// regressions on them.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +20,7 @@
 
 #include "accel/service_cycle_cache.hpp"
 #include "numeric/histogram.hpp"
+#include "power/power_model.hpp"
 #include "serve/batcher.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
@@ -34,6 +43,31 @@ struct LatencySummary {
   double max_seconds = 0.0;
 };
 
+/// SLO attainment of one served task.
+struct TaskSloReport {
+  std::size_t task = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t with_deadline = 0;
+  std::uint64_t violations = 0;  ///< completed after their deadline
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return with_deadline == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(violations) /
+                           static_cast<double>(with_deadline);
+  }
+};
+
+/// Serving-level energy estimate (see the header comment).
+struct ServingEnergy {
+  double dynamic_joules = 0.0;  ///< datapath ops across every dispatch
+  double static_joules = 0.0;   ///< static + clock tree, all devices
+  double link_joules = 0.0;     ///< host-link PHY while active
+  double total_joules = 0.0;
+  double mean_watts = 0.0;              ///< total over the makespan
+  double per_inference_joules = 0.0;    ///< total / completed
+};
+
 /// Everything a serving experiment reports.
 struct ServingReport {
   std::size_t offered = 0;    ///< requests emitted by the generator
@@ -49,10 +83,21 @@ struct ServingReport {
   LatencySummary latency;     ///< enqueue -> answer visible
   LatencySummary queue_wait;  ///< enqueue -> batch dispatched
 
+  /// SLO attainment: responses that carried a deadline and met it.
+  /// hit rate is 1.0 when no response carried a deadline.
+  std::uint64_t deadline_total = 0;
+  std::uint64_t deadline_missed = 0;
+  double deadline_hit_rate = 1.0;
+  std::vector<TaskSloReport> task_slo;  ///< per served task, task-ordered
+
   double mean_batch_size = 0.0;
   double batching_efficiency = 0.0;  ///< mean batch / max_batch
   double mean_device_utilization = 0.0;
   std::uint64_t model_uploads = 0;
+  std::uint64_t model_evictions = 0;  ///< uploads that displaced a model
+  std::uint64_t stolen_batches = 0;   ///< cross-shard work-stealing wins
+
+  ServingEnergy energy;
 
   // Host-execution view: everything above is on the simulated device
   // clock; these report how fast the host actually ground through it.
@@ -80,6 +125,11 @@ struct RunTotals {
   sim::FifoStats queue_stats;
   std::vector<DeviceReport> devices;
   std::uint64_t model_uploads = 0;
+  std::uint64_t model_evictions = 0;
+  std::uint64_t stolen_batches = 0;
+  /// Aggregate device activity for the energy model.
+  sim::OpCounts device_ops;
+  sim::Cycle link_active_cycles = 0;
   double host_wall_seconds = 0.0;
   std::size_t workers = 0;
   bool cycle_cache_enabled = false;
@@ -90,8 +140,10 @@ class ServingMetrics {
  public:
   /// `histogram_hi_cycles` bounds the binned latency view (samples beyond
   /// it clamp into the top bin; percentiles stay exact via raw samples).
+  /// `power_config` parameterizes the serving energy estimate.
   ServingMetrics(double clock_hz, std::size_t histogram_bins = 64,
-                 double histogram_hi_cycles = 50.0e6);
+                 double histogram_hi_cycles = 50.0e6,
+                 power::FpgaPowerConfig power_config = {});
 
   void record(const InferenceResponse& response);
 
@@ -108,11 +160,22 @@ class ServingMetrics {
   [[nodiscard]] ServingReport finalize(RunTotals totals) const;
 
  private:
+  struct TaskCounters {
+    std::uint64_t completed = 0;
+    std::uint64_t with_deadline = 0;
+    std::uint64_t violations = 0;
+    bool seen = false;
+  };
+
   double clock_hz_;
+  power::FpgaPowerConfig power_config_;
   std::size_t completed_ = 0;
   std::size_t correct_ = 0;
   std::size_t early_exits_ = 0;
   std::uint64_t batch_size_sum_ = 0;
+  std::uint64_t deadline_total_ = 0;
+  std::uint64_t deadline_missed_ = 0;
+  std::vector<TaskCounters> per_task_;  ///< grows to the max task seen
   numeric::Histogram latency_;
   numeric::Histogram queue_wait_;
 };

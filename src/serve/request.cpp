@@ -8,9 +8,9 @@ namespace mann::serve {
 TrafficGenerator::TrafficGenerator(TrafficConfig config,
                                    std::vector<TaskWorkload> workloads,
                                    std::size_t total_requests)
-    : config_(config), workloads_(std::move(workloads)),
+    : config_(std::move(config)), workloads_(std::move(workloads)),
       total_(total_requests), cursors_(workloads_.size(), 0),
-      rng_(config.seed) {
+      rng_(config_.seed) {
   if (workloads_.empty()) {
     throw std::invalid_argument("TrafficGenerator: no workloads");
   }
@@ -37,16 +37,66 @@ TrafficGenerator::TrafficGenerator(TrafficConfig config,
           "mean_interarrival_cycles at this burst_mean");
     }
   }
+  if (config_.process == ArrivalProcess::kDiurnal) {
+    if (config_.diurnal_amplitude < 0.0 || config_.diurnal_amplitude >= 1.0) {
+      throw std::invalid_argument(
+          "TrafficGenerator: diurnal_amplitude must sit in [0, 1)");
+    }
+    if (config_.diurnal_period_cycles <= 0.0) {
+      throw std::invalid_argument(
+          "TrafficGenerator: diurnal_period_cycles must be positive");
+    }
+  }
+  if (config_.process == ArrivalProcess::kTrace) {
+    if (config_.trace.empty()) {
+      throw std::invalid_argument("TrafficGenerator: trace replay needs a "
+                                  "non-empty trace");
+    }
+    trace_task_slot_.reserve(config_.trace.size());
+    sim::Cycle previous = 0;
+    for (const TraceEntry& entry : config_.trace) {
+      if (entry.arrival_cycle < previous) {
+        throw std::invalid_argument(
+            "TrafficGenerator: trace arrival cycles must be non-decreasing");
+      }
+      previous = entry.arrival_cycle;
+      std::size_t slot = workloads_.size();
+      for (std::size_t i = 0; i < workloads_.size(); ++i) {
+        if (workloads_[i].task == entry.task) {
+          slot = i;
+          break;
+        }
+      }
+      if (slot == workloads_.size()) {
+        throw std::invalid_argument(
+            "TrafficGenerator: trace names task " +
+            std::to_string(entry.task) + " but no such workload was given");
+      }
+      trace_task_slot_.push_back(slot);
+    }
+    // Loop shift: one trace span plus the trace's own mean gap, so the
+    // next lap neither overlaps the last arrival nor opens a dead gap.
+    const sim::Cycle last = config_.trace.back().arrival_cycle;
+    const auto n = static_cast<sim::Cycle>(config_.trace.size());
+    trace_span_ = last + std::max<sim::Cycle>(1, last / n);
+  }
   // The first arrival is drawn like every later one (no artificial
   // request at cycle 0).
   schedule_next();
+}
+
+std::size_t TrafficGenerator::next_workload_slot() {
+  if (config_.process == ArrivalProcess::kTrace) {
+    return trace_task_slot_[emitted_ % config_.trace.size()];
+  }
+  return rng_.index(workloads_.size());
 }
 
 std::optional<InferenceRequest> TrafficGenerator::poll(sim::Cycle now) {
   if (exhausted() || next_cycle_ > now) {
     return std::nullopt;
   }
-  const std::size_t task_slot = rng_.index(workloads_.size());
+  const std::size_t task_slot = next_workload_slot();
   const TaskWorkload& workload = workloads_[task_slot];
   std::size_t& cursor = cursors_[task_slot];
   InferenceRequest request;
@@ -54,6 +104,9 @@ std::optional<InferenceRequest> TrafficGenerator::poll(sim::Cycle now) {
   request.task = workload.task;
   request.story = &workload.stories[cursor];
   request.enqueue_cycle = next_cycle_;
+  const sim::Cycle slo = config_.slo.deadline_for(workload.task);
+  request.deadline_cycle =
+      slo == sim::kNever ? sim::kNever : next_cycle_ + slo;
   cursor = (cursor + 1) % workload.stories.size();
   ++emitted_;
   if (!exhausted()) {
@@ -68,11 +121,32 @@ void TrafficGenerator::schedule_next() {
     return -mean * std::log(1.0 - rng_.uniform());
   };
 
+  if (config_.process == ArrivalProcess::kTrace) {
+    const std::size_t n = config_.trace.size();
+    const std::size_t lap = emitted_ / n;
+    next_cycle_ = config_.trace[emitted_ % n].arrival_cycle +
+                  static_cast<sim::Cycle>(lap) * trace_span_;
+    return;
+  }
+
   double gap = 0.0;
   switch (config_.process) {
     case ArrivalProcess::kPoisson:
       gap = exponential(config_.mean_interarrival_cycles);
       break;
+    case ArrivalProcess::kDiurnal: {
+      // Rate modulation evaluated at the current clock: the instantaneous
+      // rate is base * (1 + A sin(2πt/P)), so the mean gap shrinks at the
+      // daily peak and stretches in the trough. A < 1 keeps the factor
+      // strictly positive.
+      constexpr double kTwoPi = 6.283185307179586;
+      const double phase =
+          kTwoPi * arrival_clock_ / config_.diurnal_period_cycles;
+      const double factor =
+          1.0 + config_.diurnal_amplitude * std::sin(phase);
+      gap = exponential(config_.mean_interarrival_cycles / factor);
+      break;
+    }
     case ArrivalProcess::kBursty: {
       if (burst_left_ > 0) {
         --burst_left_;
@@ -95,6 +169,8 @@ void TrafficGenerator::schedule_next() {
       gap = exponential(inter_burst_mean);
       break;
     }
+    case ArrivalProcess::kTrace:
+      break;  // handled above
   }
 
   arrival_clock_ += std::max(1.0, gap);

@@ -6,6 +6,12 @@
 // model; the TrafficGenerator emits a deterministic arrival schedule over
 // a fixed request corpus so every serving experiment is exactly
 // reproducible from a seed.
+//
+// Every request carries a completion deadline derived from a per-task SLO
+// config (sim::kNever when the task has no SLO). Deadlines are soft:
+// nothing is dropped for missing one, but the deadline-aware scheduler
+// orders work by them and the metrics report hit-rates and per-task
+// violations — the contract a latency SLO actually is.
 #pragma once
 
 #include <cstdint>
@@ -15,11 +21,30 @@
 
 #include "data/types.hpp"
 #include "numeric/random.hpp"
+#include "serve/trace.hpp"
 #include "sim/types.hpp"
 
 namespace mann::serve {
 
 using RequestId = std::uint64_t;
+
+/// Per-task latency SLOs, expressed as enqueue-to-completion deadlines in
+/// device cycles. sim::kNever means "no SLO" (the request never expires).
+struct SloConfig {
+  /// Deadline for tasks without a per-task override.
+  sim::Cycle default_deadline_cycles = sim::kNever;
+  /// Indexed by task id; 0 means "use the default" (a real 0-cycle
+  /// deadline would be unmeetable anyway). Tasks beyond the vector use
+  /// the default.
+  std::vector<sim::Cycle> per_task;
+
+  [[nodiscard]] sim::Cycle deadline_for(std::size_t task) const noexcept {
+    if (task < per_task.size() && per_task[task] != 0) {
+      return per_task[task];
+    }
+    return default_deadline_cycles;
+  }
+};
 
 /// One in-flight user question. The story is non-owning: the serving
 /// corpus (per-task test splits) outlives every request.
@@ -27,7 +52,8 @@ struct InferenceRequest {
   RequestId id = 0;
   std::size_t task = 0;  ///< index into the server's model registry
   const data::EncodedStory* story = nullptr;
-  sim::Cycle enqueue_cycle = 0;  ///< arrival at the serving frontend
+  sim::Cycle enqueue_cycle = 0;   ///< arrival at the serving frontend
+  sim::Cycle deadline_cycle = sim::kNever;  ///< SLO deadline (absolute)
 };
 
 /// One answered question, with the full timestamp trail for latency
@@ -43,6 +69,7 @@ struct InferenceResponse {
   sim::Cycle enqueue_cycle = 0;
   sim::Cycle dispatch_cycle = 0;  ///< batch handed to a device
   sim::Cycle complete_cycle = 0;  ///< answer visible at the host
+  sim::Cycle deadline_cycle = sim::kNever;  ///< carried from the request
 
   [[nodiscard]] sim::Cycle queue_cycles() const noexcept {
     return dispatch_cycle - enqueue_cycle;
@@ -50,23 +77,45 @@ struct InferenceResponse {
   [[nodiscard]] sim::Cycle latency_cycles() const noexcept {
     return complete_cycle - enqueue_cycle;
   }
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_cycle != sim::kNever;
+  }
+  [[nodiscard]] bool deadline_met() const noexcept {
+    return complete_cycle <= deadline_cycle;
+  }
 };
 
 /// Arrival process shapes for the open-loop generator.
 enum class ArrivalProcess : std::uint8_t {
   kPoisson,  ///< memoryless arrivals at the configured mean rate
   kBursty,   ///< geometric bursts with tight intra-burst spacing
+  kDiurnal,  ///< Poisson with sinusoidal rate modulation (day/night load)
+  kTrace,    ///< exact replay of a recorded arrival_cycle/task schedule
 };
 
 struct TrafficConfig {
   ArrivalProcess process = ArrivalProcess::kPoisson;
-  /// Long-run mean gap between arrivals, in device cycles. Both processes
-  /// honour this, so sweeps compare equal offered load.
+  /// Long-run mean gap between arrivals, in device cycles. Every
+  /// synthetic process honours this, so sweeps compare equal offered
+  /// load (the trace process takes its timing from the trace instead).
   double mean_interarrival_cycles = 50'000.0;
   /// Bursty only: mean burst length (geometric) and the fixed gap between
   /// requests inside a burst.
   double burst_mean = 8.0;
   double burst_gap_cycles = 64.0;
+  /// Diurnal only: instantaneous rate = base rate * (1 + A sin(2πt/P)).
+  /// Amplitude must sit in [0, 1) so the rate never reaches zero; the
+  /// period is one simulated "day".
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_cycles = 10.0e6;
+  /// Trace only: the recorded schedule to replay. Task ids must name
+  /// workloads the generator was given; arrival cycles must be
+  /// non-decreasing. When total_requests exceeds the trace length the
+  /// trace loops, shifted by its span each lap, so long experiments can
+  /// replay a short recording.
+  std::vector<TraceEntry> trace;
+  /// Per-task deadlines stamped on every emitted request.
+  SloConfig slo;
   std::uint64_t seed = 2019;
 };
 
@@ -78,7 +127,9 @@ struct TaskWorkload {
 
 /// Deterministic open-loop arrival source: draws tasks uniformly at
 /// random (seeded), walks each task's corpus round-robin, and spaces
-/// arrivals by the configured process. Exhausted after `total_requests`.
+/// arrivals by the configured process — except trace replay, which takes
+/// both the task and the spacing from the recording. Exhausted after
+/// `total_requests`.
 class TrafficGenerator {
  public:
   TrafficGenerator(TrafficConfig config, std::vector<TaskWorkload> workloads,
@@ -98,6 +149,9 @@ class TrafficGenerator {
 
  private:
   void schedule_next();
+  /// Workload slot serving the next emission (trace: dictated by the
+  /// recording; otherwise drawn uniformly at schedule time).
+  [[nodiscard]] std::size_t next_workload_slot();
 
   TrafficConfig config_;
   std::vector<TaskWorkload> workloads_;
@@ -108,6 +162,8 @@ class TrafficGenerator {
   double arrival_clock_ = 0.0;  ///< exact (fractional) arrival time
   sim::Cycle next_cycle_ = 0;
   std::size_t burst_left_ = 0;  ///< bursty: requests left in this burst
+  std::vector<std::size_t> trace_task_slot_;  ///< trace row -> workload slot
+  sim::Cycle trace_span_ = 0;  ///< loop shift when replaying past the end
 };
 
 }  // namespace mann::serve

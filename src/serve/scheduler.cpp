@@ -3,15 +3,24 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 namespace mann::serve {
 
+const char* scheduler_policy_name(SchedulerPolicy policy) noexcept {
+  switch (policy) {
+    case SchedulerPolicy::kFifo:
+      return "fifo";
+    case SchedulerPolicy::kEdf:
+      return "edf";
+  }
+  return "unknown";
+}
+
 Scheduler::Scheduler(SchedulerConfig config,
                      std::vector<accel::Accelerator> task_devices)
-    : config_(config), task_devices_(std::move(task_devices)),
-      pending_("SCHED_Q", config.queue_capacity == 0 ? 1
-                                                     : config.queue_capacity) {
+    : config_(config), task_devices_(std::move(task_devices)) {
   if (config_.devices == 0) {
     throw std::invalid_argument("Scheduler: need at least one device");
   }
@@ -20,10 +29,19 @@ Scheduler::Scheduler(SchedulerConfig config,
   }
   config_.dedicated_devices =
       std::min(config_.dedicated_devices, config_.devices);
+  queue_capacity_ = std::max<std::size_t>(1, config_.queue_capacity);
   slots_.resize(config_.devices);
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     slots_[i].id = i;
   }
+  // One shard queue per dedicated slot; a single shared queue when the
+  // whole pool is shared. The queues order themselves by the policy.
+  queues_.assign(config_.dedicated_devices > 0 ? config_.dedicated_devices
+                                               : 1,
+                 PendingQueue(PendingOrder{config_.policy}));
+  task_dispatches_.resize(task_devices_.size(), 0);
+  task_cycles_.resize(task_devices_.size());
+  eviction_ = make_eviction_policy(config_.eviction);
   cache_ = config_.cycle_cache;
   if (cache_ == nullptr && config_.workers > 0) {
     owned_cache_ = std::make_unique<accel::ServiceCycleCache>(
@@ -35,6 +53,11 @@ Scheduler::Scheduler(SchedulerConfig config,
   }
 }
 
+std::size_t Scheduler::queue_for(std::size_t task) const noexcept {
+  return config_.dedicated_devices > 0 ? task % config_.dedicated_devices
+                                       : 0;
+}
+
 bool Scheduler::submit(Batch batch) {
   if (batch.task >= task_devices_.size()) {
     throw std::out_of_range("Scheduler: unknown task id");
@@ -42,10 +65,20 @@ bool Scheduler::submit(Batch batch) {
   if (batch.requests.empty()) {
     throw std::invalid_argument("Scheduler: empty batch");
   }
-  if (pool_ != nullptr && !pending_.full()) {
+  if (!has_capacity()) {
+    ++pending_stats_.full_rejects;
+    return false;
+  }
+  if (pool_ != nullptr) {
     speculate(batch);
   }
-  return pending_.try_push(std::move(batch));
+  const std::size_t queue = queue_for(batch.task);
+  queues_[queue].insert({std::move(batch), next_seq_++});
+  ++pending_total_;
+  ++pending_stats_.pushes;
+  pending_stats_.max_occupancy =
+      std::max(pending_stats_.max_occupancy, pending_total_);
+  return true;
 }
 
 bool Scheduler::task_resident_anywhere(std::size_t task) const noexcept {
@@ -57,12 +90,26 @@ bool Scheduler::task_resident_anywhere(std::size_t task) const noexcept {
   return false;
 }
 
+sim::Cycle Scheduler::reload_estimate(std::size_t task) const noexcept {
+  const TaskCycleEstimate& est = task_cycles_[task];
+  if (est.cold > 0 && est.warm > 0 && est.cold > est.warm) {
+    return est.cold - est.warm;  // the pure model-upload delta
+  }
+  return est.cold;  // warm variant not yet observed: whole cold run
+}
+
 void Scheduler::speculate(const Batch& batch) {
   // Predict the dispatch-time variant from submit-time residency: warm
-  // once the program sits in any slot (the steady state), cold before its
-  // first upload. A mispredict costs nothing but the wasted worker run —
-  // dispatch falls back to inline simulation of the variant it needs.
-  const bool warm = task_resident_anywhere(batch.task);
+  // once the program sits in any slot (the steady state), cold before
+  // its first upload. The exception is the churn regime — more served
+  // tasks than pool slots — where residency rarely survives from submit
+  // to dispatch (eviction displaces the program first), so cold is the
+  // overwhelmingly likely variant even while the task is resident
+  // somewhere right now. A mispredict costs nothing but the wasted
+  // worker run — dispatch falls back to inline simulation of the
+  // variant it needs.
+  const bool churn = task_devices_.size() > slots_.size();
+  const bool warm = !churn && task_resident_anywhere(batch.task);
   auto stories = std::make_shared<const std::vector<data::EncodedStory>>(
       batch.stories);
   const accel::Accelerator& device = task_devices_[batch.task];
@@ -81,17 +128,47 @@ void Scheduler::speculate(const Batch& batch) {
 }
 
 void Scheduler::step(sim::Cycle now) {
-  while (const Batch* head = pending_.peek()) {
-    Slot* slot = pick_slot(head->task, now);
-    if (slot == nullptr) {
-      return;  // head-of-line batch waits; nothing behind it jumps ahead
-    }
-    const Batch batch = *pending_.try_pop();
-    dispatch(*slot, batch, now);
+  if (config_.policy == SchedulerPolicy::kFifo) {
+    step_fifo(now);
+    return;
+  }
+  while (dispatch_best_edf(now)) {
   }
 }
 
-Scheduler::Slot* Scheduler::pick_slot(std::size_t task, sim::Cycle now) {
+void Scheduler::step_fifo(sim::Cycle now) {
+  // Legacy head-of-line order: the globally oldest batch waits for a
+  // suitable slot before anything behind it dispatches (deterministic,
+  // starvation-free, and exactly the pre-EDF timeline). Under kFifo the
+  // queues order by seq, so each begin() is its shard's oldest batch.
+  while (pending_total_ > 0) {
+    std::size_t best_queue = queues_.size();
+    std::uint64_t best_seq = 0;
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      if (queues_[q].empty()) {
+        continue;
+      }
+      const std::uint64_t seq = queues_[q].begin()->seq;
+      if (best_queue == queues_.size() || seq < best_seq) {
+        best_queue = q;
+        best_seq = seq;
+      }
+    }
+    Slot* slot =
+        pick_slot_fifo(queues_[best_queue].begin()->batch.task, now);
+    if (slot == nullptr) {
+      return;  // head-of-line batch waits; nothing behind it jumps ahead
+    }
+    auto node = queues_[best_queue].extract(queues_[best_queue].begin());
+    const Batch batch = std::move(node.value().batch);
+    --pending_total_;
+    ++pending_stats_.pops;
+    dispatch(*slot, batch, now, /*stolen=*/false);
+  }
+}
+
+Scheduler::Slot* Scheduler::pick_slot_fifo(std::size_t task,
+                                           sim::Cycle now) {
   // Home slot first: per-task sharding keeps a task's program warm.
   if (config_.dedicated_devices > 0) {
     Slot& home = slots_[task % config_.dedicated_devices];
@@ -117,7 +194,157 @@ Scheduler::Slot* Scheduler::pick_slot(std::size_t task, sim::Cycle now) {
   return fallback;
 }
 
-void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now) {
+bool Scheduler::steal_worthwhile(std::size_t home_queue, const Batch& batch,
+                                 sim::Cycle now) const noexcept {
+  // A steal must buy something. When the home slot holds the batch's
+  // program, stealing forfeits a warm dispatch — it is only worth it if
+  // the wait for home exceeds the model-reload cost the steal re-pays,
+  // or if waiting would blow the batch's deadline. When home is *not*
+  // warm for this task, the dispatch pays a cold upload wherever it
+  // lands, so any idle slot beats waiting. All inputs are simulated
+  // state, so the decision replays deterministically.
+  const Slot& home = slots_[home_queue];
+  const sim::Cycle wait =
+      home.busy_until > now ? home.busy_until - now : 0;
+  if (wait == 0) {
+    return false;  // home is free; stealing could only hurt
+  }
+  if (home.resident_task != batch.task) {
+    return true;  // cold either way: stealing purely saves the wait
+  }
+  const sim::Cycle reload = reload_estimate(batch.task);
+  if (wait > reload) {
+    return true;
+  }
+  if (batch.deadline != sim::kNever) {
+    const TaskCycleEstimate& est = task_cycles_[batch.task];
+    const sim::Cycle service = est.warm > 0 ? est.warm : est.cold;
+    if (now + wait + service > batch.deadline) {
+      return true;  // waiting misses the SLO; stealing might not
+    }
+  }
+  return false;
+}
+
+bool Scheduler::dispatch_best_edf(sim::Cycle now) {
+  if (pending_total_ == 0) {
+    return false;
+  }
+  // Urgency key: deadline first (kNever sorts last, so SLO-free batches
+  // degrade to submit order), admission sequence as the deterministic
+  // tie-break. Each shard queue keeps that order, so its begin() is the
+  // shard's most urgent batch.
+  using Key = std::tuple<sim::Cycle, std::uint64_t>;
+  const std::size_t dedicated = config_.dedicated_devices;
+
+  // Eligible free slots for shard q: its home slot, the overflow pool,
+  // and — when stealing is on and worth the reload — any foreign
+  // dedicated slot that is idle (free with an empty shard queue).
+  const auto eligible = [&](const Slot& slot, std::size_t q,
+                            bool steal_ok) {
+    if (!slot.free(now)) {
+      return false;
+    }
+    if (dedicated == 0 || slot.id >= dedicated || slot.id == q) {
+      return true;
+    }
+    return steal_ok && queues_[slot.id].empty();
+  };
+
+  std::size_t best_queue = queues_.size();
+  Key best_key{};
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    const PendingQueue& queue = queues_[q];
+    if (queue.empty()) {
+      continue;
+    }
+    const PendingBatch& head = *queue.begin();
+    const Key key{head.batch.deadline, head.seq};
+    if (best_queue != queues_.size() && best_key < key) {
+      continue;  // a more urgent shard already has a slot lined up
+    }
+    const bool steal_ok = config_.work_stealing && dedicated > 0 &&
+                          steal_worthwhile(q, head.batch, now);
+    bool has_slot = false;
+    for (const Slot& slot : slots_) {
+      if (eligible(slot, q, steal_ok)) {
+        has_slot = true;
+        break;
+      }
+    }
+    if (!has_slot) {
+      continue;
+    }
+    best_queue = q;
+    best_key = key;
+  }
+  if (best_queue == queues_.size()) {
+    return false;
+  }
+  PendingQueue& queue = queues_[best_queue];
+  auto node = queue.extract(queue.begin());
+  const Batch batch = std::move(node.value().batch);
+  --pending_total_;
+  ++pending_stats_.pops;
+  // Rebuild the winner's eligible set once for the slot choice (same
+  // inputs as the scan above, so the same slots qualify).
+  const bool steal_ok = config_.work_stealing && dedicated > 0 &&
+                        steal_worthwhile(best_queue, batch, now);
+  std::vector<Slot*> free_slots;
+  for (Slot& slot : slots_) {
+    if (eligible(slot, best_queue, steal_ok)) {
+      free_slots.push_back(&slot);
+    }
+  }
+  Slot* slot = choose_slot_edf(free_slots, best_queue, batch.task);
+  const bool stolen =
+      dedicated > 0 && slot->id < dedicated && slot->id != best_queue;
+  dispatch(*slot, batch, now, stolen);
+  return true;
+}
+
+Scheduler::Slot* Scheduler::choose_slot_edf(
+    const std::vector<Slot*>& free_slots, std::size_t queue,
+    std::size_t task) {
+  // Home first (sharding stability keeps the shard's programs warm).
+  if (config_.dedicated_devices > 0) {
+    for (Slot* slot : free_slots) {
+      if (slot->id == queue) {
+        return slot;
+      }
+    }
+  }
+  // Then a warm slot (no upload at all), then an empty one (upload but
+  // no displacement); free_slots is id-ordered, so ties go low.
+  for (Slot* slot : free_slots) {
+    if (slot->resident_task == task) {
+      return slot;
+    }
+  }
+  for (Slot* slot : free_slots) {
+    if (!slot->resident_task.has_value()) {
+      return slot;
+    }
+  }
+  // Every candidate displaces a resident model: the eviction policy
+  // chooses the victim instead of slot-order accident.
+  std::vector<EvictionCandidate> candidates;
+  candidates.reserve(free_slots.size());
+  for (const Slot* slot : free_slots) {
+    EvictionCandidate c;
+    c.slot = slot->id;
+    c.resident_task = *slot->resident_task;
+    c.last_dispatch_cycle = slot->last_dispatch_cycle;
+    c.resident_task_dispatches = task_dispatches_[*slot->resident_task];
+    c.reload_cycles = reload_estimate(*slot->resident_task);
+    candidates.push_back(c);
+  }
+  const std::size_t victim = eviction_->pick_victim(candidates);
+  return free_slots[victim];
+}
+
+void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
+                         bool stolen) {
   const bool warm = slot.resident_task == batch.task;
   accel::RunOptions options;
   options.model_resident = warm;
@@ -128,13 +355,23 @@ void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now) {
   const accel::RunResult run =
       task_devices_[batch.task].run(batch.stories, options);
 
+  if (!warm && slot.resident_task.has_value()) {
+    ++slot.model_evictions;  // the upload displaced another model
+  }
   slot.resident_task = batch.task;
   slot.busy_until = now + run.total_cycles;
   slot.busy_cycles += run.total_cycles;
+  slot.last_dispatch_cycle = now;
   ++slot.batches;
   slot.stories += batch.size();
   slot.model_uploads += warm ? 0 : 1;
+  slot.stolen_batches += stolen ? 1 : 0;
+  ++task_dispatches_[batch.task];
+  TaskCycleEstimate& estimate = task_cycles_[batch.task];
+  (warm ? estimate.warm : estimate.cold) = run.total_cycles;
   device_queue_stats_ += run.queue_stats();
+  device_ops_ += run.total_ops;
+  link_active_cycles_ += run.link_active_cycles;
 
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const InferenceRequest& request = batch.requests[i];
@@ -147,6 +384,7 @@ void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now) {
     response.answer = batch.stories[i].answer;
     response.early_exit = run.stories[i].early_exit;
     response.enqueue_cycle = request.enqueue_cycle;
+    response.deadline_cycle = request.deadline_cycle;
     response.dispatch_cycle = now;
     // finish_cycle is relative to the batch's own run; rebased onto the
     // serving clock it gives per-story completion inside the batch.
@@ -199,6 +437,8 @@ std::vector<DeviceReport> Scheduler::device_reports() const {
     report.batches = slot.batches;
     report.stories = slot.stories;
     report.model_uploads = slot.model_uploads;
+    report.model_evictions = slot.model_evictions;
+    report.stolen_batches = slot.stolen_batches;
     reports.push_back(report);
   }
   return reports;
@@ -208,6 +448,22 @@ std::uint64_t Scheduler::total_model_uploads() const noexcept {
   std::uint64_t total = 0;
   for (const Slot& slot : slots_) {
     total += slot.model_uploads;
+  }
+  return total;
+}
+
+std::uint64_t Scheduler::total_model_evictions() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.model_evictions;
+  }
+  return total;
+}
+
+std::uint64_t Scheduler::total_stolen_batches() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.stolen_batches;
   }
   return total;
 }

@@ -9,6 +9,31 @@
 // slots (home = task % dedicated) with the remaining slots forming a
 // shared overflow pool that absorbs bursts.
 //
+// Dispatch policy (SchedulerConfig::policy):
+//   * kEdf (default) — deadline-aware dispatch. Pending batches live in
+//     per-shard queues ordered earliest-deadline-first (submit order
+//     breaks ties, and batches without SLOs sort last, i.e. with no
+//     deadlines configured EDF picks batches in submit order — though
+//     unlike kFifo it is work-conserving: a younger batch may dispatch
+//     while the oldest waits for an eligible slot). Free slots serve their
+//     own shard first; with work_stealing on, an idle slot that finds
+//     its queue empty steals the most urgent batch from any other
+//     shard's queue — across the shard/overflow boundary in both
+//     directions — so one overloaded shard can no longer idle the rest
+//     of the pool. A steal displaces the idle slot's resident model, so
+//     it only happens when it is worth the reload: the home slot's
+//     remaining busy time exceeds the task's observed reload cost, or
+//     waiting for home would miss the batch's deadline.
+//   * kFifo — the legacy head-of-line dispatcher kept as the comparison
+//     baseline and escape hatch: the globally oldest pending batch waits
+//     for its home or an overflow slot, and nothing behind it may jump
+//     ahead.
+//
+// When a dispatch must displace a resident model (every eligible free
+// slot holds some other task's program), the victim is chosen by the
+// configured EvictionPolicy (LRU / LFU / cost-aware) instead of the old
+// last-program-wins accident; evictions are counted per slot.
+//
 // Host-parallel execution: with `workers > 0` the scheduler also owns a
 // WorkerPool and a ServiceCycleCache. Every submitted batch is
 // speculatively simulated on a worker (with the warm/cold variant
@@ -25,11 +50,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "accel/accelerator.hpp"
 #include "accel/service_cycle_cache.hpp"
 #include "serve/batcher.hpp"
+#include "serve/eviction.hpp"
 #include "serve/request.hpp"
 #include "serve/worker_pool.hpp"
 #include "sim/fifo.hpp"
@@ -37,14 +64,31 @@
 
 namespace mann::serve {
 
+/// Dispatch-ordering policies (see the header comment).
+enum class SchedulerPolicy : std::uint8_t {
+  kFifo,  ///< legacy head-of-line: strict submit order, no stealing
+  kEdf,   ///< earliest-deadline-first with optional work-stealing
+};
+
+[[nodiscard]] const char* scheduler_policy_name(
+    SchedulerPolicy policy) noexcept;
+
 struct SchedulerConfig {
   std::size_t devices = 2;
   /// First `dedicated_devices` slots are sharded by task id; the rest
   /// are the shared overflow pool. 0 means the whole pool is shared.
   /// Clamped to `devices`.
   std::size_t dedicated_devices = 0;
-  /// Pending-batch queue bound (submit() rejects beyond it).
+  /// Total pending-batch bound across every shard queue (submit()
+  /// rejects beyond it).
   std::size_t queue_capacity = 1024;
+  SchedulerPolicy policy = SchedulerPolicy::kEdf;
+  /// EDF only: idle slots with an empty shard queue pull the most urgent
+  /// batch from other shards' queues. The FIFO policy never steals (it
+  /// reproduces the pre-EDF dispatcher exactly).
+  bool work_stealing = true;
+  /// Victim selection when a dispatch must displace a resident model.
+  EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
   /// Host worker threads simulating device batches ahead of the serving
   /// clock. 0 = sequential host execution (the debugging escape hatch);
   /// the natural setting is one worker per device slot.
@@ -67,6 +111,8 @@ struct DeviceReport {
   std::uint64_t batches = 0;
   std::uint64_t stories = 0;
   std::uint64_t model_uploads = 0;  ///< cold dispatches (upload re-paid)
+  std::uint64_t model_evictions = 0;  ///< uploads that displaced a model
+  std::uint64_t stolen_batches = 0;   ///< dispatches taken from another shard
 };
 
 class Scheduler {
@@ -80,29 +126,28 @@ class Scheduler {
     return config_;
   }
 
-  /// Queues a batch for dispatch; false when the pending queue is full.
+  /// Queues a batch for dispatch; false when the pending bound is hit.
   [[nodiscard]] bool submit(Batch batch);
 
   [[nodiscard]] bool has_capacity() const noexcept {
-    return !pending_.full();
+    return pending_total_ < queue_capacity_;
   }
 
-  /// Assigns pending batches to free device slots at `now`. Head-of-line
-  /// order: the front batch waits for a suitable slot before anything
-  /// behind it dispatches (deterministic, starvation-free).
+  /// Assigns pending batches to free device slots at `now`, in policy
+  /// order (deterministic for a given submit history).
   void step(sim::Cycle now);
 
   /// Moves out every response whose completion time has been reached.
   [[nodiscard]] std::vector<InferenceResponse> collect(sim::Cycle now);
 
   [[nodiscard]] std::size_t pending_batches() const noexcept {
-    return pending_.size();
+    return pending_total_;
   }
   [[nodiscard]] std::size_t in_flight() const noexcept {
     return in_flight_.size();
   }
   [[nodiscard]] bool idle() const noexcept {
-    return pending_.empty() && in_flight_.empty();
+    return pending_total_ == 0 && in_flight_.empty();
   }
 
   /// Earliest in-flight completion; sim::kNever when nothing is running.
@@ -115,10 +160,10 @@ class Scheduler {
 
   [[nodiscard]] std::vector<DeviceReport> device_reports() const;
 
-  /// Pending-batch queue stats (same FifoStats code path as everything
-  /// else in the system).
+  /// Pending-batch queue stats (same FifoStats shape as every other
+  /// queue in the system, aggregated over the shard queues).
   [[nodiscard]] const sim::FifoStats& queue_stats() const noexcept {
-    return pending_.stats();
+    return pending_stats_;
   }
 
   /// Aggregate device-internal host FIFO stats over every run dispatched
@@ -128,6 +173,17 @@ class Scheduler {
   }
 
   [[nodiscard]] std::uint64_t total_model_uploads() const noexcept;
+  [[nodiscard]] std::uint64_t total_model_evictions() const noexcept;
+  [[nodiscard]] std::uint64_t total_stolen_batches() const noexcept;
+
+  /// Aggregate datapath activity over every dispatched run — the power
+  /// model folds these into serving energy.
+  [[nodiscard]] const sim::OpCounts& device_ops() const noexcept {
+    return device_ops_;
+  }
+  [[nodiscard]] sim::Cycle link_active_cycles() const noexcept {
+    return link_active_cycles_;
+  }
 
   /// Blocks until outstanding speculative work has drained, so cache
   /// counters read afterwards are complete (and deterministic: the set
@@ -150,28 +206,89 @@ class Scheduler {
     std::optional<std::size_t> resident_task;
     sim::Cycle busy_until = 0;
     sim::Cycle busy_cycles = 0;
+    sim::Cycle last_dispatch_cycle = 0;
     std::uint64_t batches = 0;
     std::uint64_t stories = 0;
     std::uint64_t model_uploads = 0;
+    std::uint64_t model_evictions = 0;
+    std::uint64_t stolen_batches = 0;
 
     [[nodiscard]] bool free(sim::Cycle now) const noexcept {
       return busy_until <= now;
     }
   };
 
-  [[nodiscard]] Slot* pick_slot(std::size_t task, sim::Cycle now);
-  void dispatch(Slot& slot, const Batch& batch, sim::Cycle now);
+  /// One queued batch, stamped with its admission sequence number (the
+  /// deterministic tie-break and the FIFO ordering key).
+  struct PendingBatch {
+    Batch batch;
+    std::uint64_t seq = 0;
+  };
+
+  /// Ordering of the shard queues: EDF sorts by (deadline, seq) so the
+  /// most urgent batch is always at begin(); FIFO sorts by seq alone
+  /// (pure submit order). seq is unique, so the order is total and the
+  /// queues behave as priority queues with O(log n) admission.
+  struct PendingOrder {
+    SchedulerPolicy policy = SchedulerPolicy::kEdf;
+    [[nodiscard]] bool operator()(const PendingBatch& a,
+                                  const PendingBatch& b) const noexcept {
+      if (policy == SchedulerPolicy::kEdf &&
+          a.batch.deadline != b.batch.deadline) {
+        return a.batch.deadline < b.batch.deadline;
+      }
+      return a.seq < b.seq;
+    }
+  };
+  using PendingQueue = std::multiset<PendingBatch, PendingOrder>;
+
+  /// Per-task service-cycle observations feeding the cost-aware policy.
+  struct TaskCycleEstimate {
+    sim::Cycle cold = 0;  ///< latest observed cold (upload-paying) run
+    sim::Cycle warm = 0;  ///< latest observed warm run
+  };
+
+  [[nodiscard]] std::size_t queue_for(std::size_t task) const noexcept;
+  /// True when taking `batch` from `home_queue` on a foreign dedicated
+  /// slot beats waiting for the home slot (the reload-vs-wait trade, or
+  /// an SLO about to be missed).
+  [[nodiscard]] bool steal_worthwhile(std::size_t home_queue,
+                                      const Batch& batch,
+                                      sim::Cycle now) const noexcept;
+  [[nodiscard]] bool dispatch_best_edf(sim::Cycle now);
+  void step_fifo(sim::Cycle now);
+  [[nodiscard]] Slot* pick_slot_fifo(std::size_t task, sim::Cycle now);
+  /// EDF slot choice for queue `queue`: home, then warm, then empty, then
+  /// the eviction policy's victim among `free_slots` (already filtered to
+  /// the queue's eligible set).
+  [[nodiscard]] Slot* choose_slot_edf(const std::vector<Slot*>& free_slots,
+                                      std::size_t queue, std::size_t task);
+  void dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
+                bool stolen);
   /// Prefetch: simulate `batch` on a worker with the residency-predicted
   /// warm/cold variant and publish the result into the cache.
   void speculate(const Batch& batch);
   [[nodiscard]] bool task_resident_anywhere(std::size_t task) const noexcept;
+  [[nodiscard]] sim::Cycle reload_estimate(std::size_t task) const noexcept;
 
   SchedulerConfig config_;
   std::vector<accel::Accelerator> task_devices_;
   std::vector<Slot> slots_;
-  sim::Fifo<Batch> pending_;
+  /// queues_[i] backs dedicated slot i's shard; with no dedicated slots
+  /// a single shared queue backs the whole pool. begin() is the shard's
+  /// next batch under the configured policy.
+  std::vector<PendingQueue> queues_;
+  std::size_t pending_total_ = 0;
+  std::size_t queue_capacity_ = 0;
+  std::uint64_t next_seq_ = 0;
+  sim::FifoStats pending_stats_;
   std::vector<InferenceResponse> in_flight_;  ///< completion times known
   sim::FifoStats device_queue_stats_;
+  sim::OpCounts device_ops_;
+  sim::Cycle link_active_cycles_ = 0;
+  std::vector<std::uint64_t> task_dispatches_;
+  std::vector<TaskCycleEstimate> task_cycles_;
+  std::unique_ptr<EvictionPolicy> eviction_;
   std::unique_ptr<accel::ServiceCycleCache> owned_cache_;
   accel::ServiceCycleCache* cache_ = nullptr;  ///< owned or external
   /// Declared last: its destructor joins the workers while the devices

@@ -152,7 +152,8 @@ ServingReport Server::run(std::size_t total_requests) const {
                              total_requests);
   Batcher batcher(config_.batcher, models_.size());
   Scheduler scheduler(config_.scheduler, std::move(task_devices));
-  ServingMetrics metrics(config_.accel.clock_hz, config_.histogram_bins);
+  ServingMetrics metrics(config_.accel.clock_hz, config_.histogram_bins,
+                         /*histogram_hi_cycles=*/50.0e6, config_.power);
   sim::Cycle last_completion = 0;
 
   sim::Simulator simulator;
@@ -192,6 +193,10 @@ ServingReport Server::run(std::size_t total_requests) const {
   totals.queue_stats += scheduler.device_queue_stats();
   totals.devices = scheduler.device_reports();
   totals.model_uploads = scheduler.total_model_uploads();
+  totals.model_evictions = scheduler.total_model_evictions();
+  totals.stolen_batches = scheduler.total_stolen_batches();
+  totals.device_ops = scheduler.device_ops();
+  totals.link_active_cycles = scheduler.link_active_cycles();
   totals.host_wall_seconds = wall.count();
   totals.workers = scheduler.worker_count();
   totals.cycle_cache_enabled = scheduler.cache_enabled();

@@ -16,6 +16,7 @@
 #include "accel/accelerator.hpp"
 #include "accel/compiler.hpp"
 #include "data/types.hpp"
+#include "power/power_model.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
@@ -33,9 +34,15 @@ struct ServedModel {
 
 struct ServerConfig {
   accel::AccelConfig accel;  ///< per-device config (clock, FIFOs, ITH…)
+  /// Arrival process, per-task SLO deadlines (traffic.slo) and — for
+  /// trace replay — the recorded schedule.
   TrafficConfig traffic;
   BatcherConfig batcher;
+  /// Dispatch policy (EDF/FIFO), work-stealing, eviction policy and the
+  /// host-parallel execution knobs.
   SchedulerConfig scheduler;
+  /// Board power model folded into the report's serving-energy figures.
+  power::FpgaPowerConfig power;
   /// Serving-level watchdog (independent of the per-batch accel watchdog).
   sim::Cycle watchdog_cycles = 20'000'000'000ULL;
   std::size_t histogram_bins = 64;

@@ -1,0 +1,104 @@
+#include "serve/trace.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace mann::serve {
+
+namespace {
+
+[[nodiscard]] bool parse_u64(const std::string& text, std::size_t begin,
+                             std::size_t end, std::uint64_t& out) {
+  if (begin >= end) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) {
+      return false;  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+[[nodiscard]] std::string trimmed(const std::string& line) {
+  std::size_t begin = 0;
+  std::size_t end = line.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(line[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(line[end - 1])) != 0) {
+    --end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::vector<TraceEntry> load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_trace_csv: cannot open " + path);
+  }
+  std::vector<TraceEntry> entries;
+  std::string raw;
+  std::size_t line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::string line = trimmed(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    // A single header row is tolerated anywhere digits are expected to
+    // start; anything else non-numeric is a hard error.
+    if (line == "arrival_cycle,task_id") {
+      continue;
+    }
+    const std::size_t comma = line.find(',');
+    std::uint64_t cycle = 0;
+    std::uint64_t task = 0;
+    if (comma == std::string::npos ||
+        !parse_u64(line, 0, comma, cycle) ||
+        !parse_u64(line, comma + 1, line.size(), task)) {
+      throw std::runtime_error("load_trace_csv: " + path + ":" +
+                               std::to_string(line_number) +
+                               ": expected 'arrival_cycle,task_id', got '" +
+                               line + "'");
+    }
+    if (!entries.empty() && cycle < entries.back().arrival_cycle) {
+      throw std::runtime_error("load_trace_csv: " + path + ":" +
+                               std::to_string(line_number) +
+                               ": arrival cycles must be non-decreasing");
+    }
+    entries.push_back({cycle, static_cast<std::size_t>(task)});
+  }
+  return entries;
+}
+
+void save_trace_csv(const std::string& path,
+                    const std::vector<TraceEntry>& entries) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_trace_csv: cannot write " + path);
+  }
+  out << "arrival_cycle,task_id\n";
+  for (const TraceEntry& e : entries) {
+    out << e.arrival_cycle << ',' << e.task << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("save_trace_csv: write failed on " + path);
+  }
+}
+
+}  // namespace mann::serve

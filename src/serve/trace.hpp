@@ -1,0 +1,41 @@
+// Trace-driven traffic: recorded arrival schedules for exact replay.
+//
+// A trace is the serving workload stripped to what matters for queueing:
+// when each request arrived and which task it asked for. The CSV form
+// (`arrival_cycle,task_id`, one row per request, optional header) is the
+// interchange format between the trace generator tool, recorded sample
+// traces checked into bench/traces/, and the TrafficGenerator's replay
+// mode — so a production-shaped arrival pattern can be captured once and
+// re-served deterministically under any scheduler/pool configuration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace mann::serve {
+
+/// One recorded arrival: the serving-clock cycle it hit the frontend and
+/// the served task it addressed (index into the model registry).
+struct TraceEntry {
+  sim::Cycle arrival_cycle = 0;
+  std::size_t task = 0;
+
+  [[nodiscard]] bool operator==(const TraceEntry&) const noexcept = default;
+};
+
+/// Parses a `arrival_cycle,task_id` CSV (optional header row, blank lines
+/// and `#` comments ignored). Throws std::runtime_error on unreadable
+/// files, malformed rows, or arrival cycles that go backwards — a trace
+/// is an arrival schedule, so time must be non-decreasing.
+[[nodiscard]] std::vector<TraceEntry> load_trace_csv(
+    const std::string& path);
+
+/// Writes `entries` as the canonical CSV (with header). Throws
+/// std::runtime_error when the file cannot be written.
+void save_trace_csv(const std::string& path,
+                    const std::vector<TraceEntry>& entries);
+
+}  // namespace mann::serve

@@ -105,5 +105,92 @@ TEST(ServingMetrics, CarriesHostExecutionView) {
   EXPECT_DOUBLE_EQ(report.accuracy, 0.5);
 }
 
+TEST(ServingMetrics, DeadlineHitRateAndPerTaskViolations) {
+  ServingMetrics metrics(100.0e6);
+  const auto respond = [&](std::size_t task, sim::Cycle done,
+                           sim::Cycle deadline) {
+    InferenceResponse r = response_with_latency(0, done);
+    r.task = task;
+    r.deadline_cycle = deadline;
+    metrics.record(r);
+  };
+  respond(0, 1'000, 2'000);            // met
+  respond(0, 3'000, 2'000);            // missed
+  respond(1, 5'000, 5'000);            // met exactly on the deadline
+  respond(2, 9'000, sim::kNever);      // no SLO: never counts as missed
+
+  RunTotals totals;
+  totals.offered = 4;
+  totals.makespan = 9'000;
+  const ServingReport report = metrics.finalize(std::move(totals));
+
+  EXPECT_EQ(report.deadline_total, 3U);
+  EXPECT_EQ(report.deadline_missed, 1U);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate, 2.0 / 3.0);
+  ASSERT_EQ(report.task_slo.size(), 3U);
+  EXPECT_EQ(report.task_slo[0].task, 0U);
+  EXPECT_EQ(report.task_slo[0].with_deadline, 2U);
+  EXPECT_EQ(report.task_slo[0].violations, 1U);
+  EXPECT_DOUBLE_EQ(report.task_slo[0].hit_rate(), 0.5);
+  EXPECT_EQ(report.task_slo[1].violations, 0U);
+  EXPECT_EQ(report.task_slo[2].with_deadline, 0U);
+  EXPECT_DOUBLE_EQ(report.task_slo[2].hit_rate(), 1.0);
+}
+
+TEST(ServingMetrics, NoDeadlinesMeansPerfectHitRate) {
+  ServingMetrics metrics(100.0e6);
+  metrics.record(response_with_latency(0, 500));
+  RunTotals totals;
+  totals.offered = 1;
+  totals.makespan = 500;
+  const ServingReport report = metrics.finalize(std::move(totals));
+  EXPECT_EQ(report.deadline_total, 0U);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate, 1.0);
+}
+
+TEST(ServingMetrics, ServingEnergyFoldsActivityAndMakespan) {
+  ServingMetrics metrics(100.0e6);
+  metrics.record(response_with_latency(0, 1'000'000));
+  metrics.record(response_with_latency(0, 1'000'000));
+
+  RunTotals totals;
+  totals.offered = 2;
+  totals.makespan = 1'000'000;  // 10 ms at 100 MHz
+  totals.devices.resize(2);     // two pool devices burn static power
+  totals.device_ops.mac = 1'000'000;
+  totals.link_active_cycles = 100'000;
+  const ServingReport report = metrics.finalize(std::move(totals));
+
+  const power::FpgaPowerConfig power;
+  const double seconds = 0.01;
+  EXPECT_DOUBLE_EQ(report.energy.dynamic_joules, 1.0e6 * power.mac_j);
+  EXPECT_DOUBLE_EQ(report.energy.link_joules,
+                   0.001 * power.link_active_watts);
+  EXPECT_DOUBLE_EQ(
+      report.energy.static_joules,
+      (power.static_watts + power.clock_watts_per_hz * 100.0e6) * seconds *
+          2.0);
+  EXPECT_DOUBLE_EQ(report.energy.total_joules,
+                   report.energy.dynamic_joules + report.energy.link_joules +
+                       report.energy.static_joules);
+  EXPECT_DOUBLE_EQ(report.energy.per_inference_joules,
+                   report.energy.total_joules / 2.0);
+  EXPECT_DOUBLE_EQ(report.energy.mean_watts,
+                   report.energy.total_joules / seconds);
+}
+
+TEST(ServingMetrics, CarriesEvictionAndStealingCounters) {
+  ServingMetrics metrics(100.0e6);
+  metrics.record(response_with_latency(0, 500));
+  RunTotals totals;
+  totals.offered = 1;
+  totals.makespan = 500;
+  totals.model_evictions = 7;
+  totals.stolen_batches = 3;
+  const ServingReport report = metrics.finalize(std::move(totals));
+  EXPECT_EQ(report.model_evictions, 7U);
+  EXPECT_EQ(report.stolen_batches, 3U);
+}
+
 }  // namespace
 }  // namespace mann::serve

@@ -192,6 +192,236 @@ TEST(Scheduler, BoundedQueueRejectsOverflow) {
   EXPECT_EQ(scheduler.queue_stats().full_rejects, 1U);
 }
 
+Batch deadline_batch(std::size_t task,
+                     const std::vector<data::EncodedStory>& stories,
+                     std::size_t count, sim::Cycle enqueue,
+                     sim::Cycle deadline, RequestId first_id) {
+  Batch batch = make_batch(task, stories, count, enqueue, first_id);
+  batch.deadline = deadline;
+  for (InferenceRequest& request : batch.requests) {
+    request.deadline_cycle = deadline;
+  }
+  return batch;
+}
+
+/// Pumps the scheduler until idle, returning responses in completion
+/// order (dispatch order is recoverable from dispatch_cycle).
+std::vector<InferenceResponse> drain(Scheduler& scheduler) {
+  std::vector<InferenceResponse> all;
+  sim::Cycle now = 0;
+  for (int guard = 0; guard < 100'000 && !scheduler.idle(); ++guard) {
+    scheduler.step(now);
+    const sim::Cycle next = scheduler.next_completion();
+    if (next == sim::kNever) {
+      break;
+    }
+    now = next;
+    for (auto& r : scheduler.collect(now)) {
+      all.push_back(r);
+    }
+  }
+  return all;
+}
+
+sim::Cycle dispatch_cycle_of(const std::vector<InferenceResponse>& all,
+                             RequestId id) {
+  for (const InferenceResponse& r : all) {
+    if (r.id == id) {
+      return r.dispatch_cycle;
+    }
+  }
+  ADD_FAILURE() << "response " << id << " missing";
+  return sim::kNever;
+}
+
+TEST(Scheduler, EdfDispatchesMostUrgentFirstUnderContention) {
+  const auto stories = tiny_stories(2);
+  // One device: all three batches contend for the same slot. Submission
+  // order is the *reverse* of urgency.
+  Scheduler scheduler({.devices = 1, .policy = SchedulerPolicy::kEdf},
+                      task_devices(1));
+  ASSERT_TRUE(
+      scheduler.submit(deadline_batch(0, stories, 1, 0, 30'000'000, 0)));
+  ASSERT_TRUE(
+      scheduler.submit(deadline_batch(0, stories, 1, 0, 10'000'000, 1)));
+  ASSERT_TRUE(
+      scheduler.submit(deadline_batch(0, stories, 1, 0, 20'000'000, 2)));
+
+  const auto all = drain(scheduler);
+  ASSERT_EQ(all.size(), 3U);
+  // Deadline order 1 < 2 < 0, not submit order.
+  EXPECT_LT(dispatch_cycle_of(all, 1), dispatch_cycle_of(all, 2));
+  EXPECT_LT(dispatch_cycle_of(all, 2), dispatch_cycle_of(all, 0));
+  // Responses carry their deadline through to the metrics layer.
+  for (const InferenceResponse& r : all) {
+    EXPECT_NE(r.deadline_cycle, sim::kNever);
+  }
+}
+
+TEST(Scheduler, FifoPolicyKeepsSubmitOrderDespiteDeadlines) {
+  const auto stories = tiny_stories(2);
+  Scheduler scheduler({.devices = 1, .policy = SchedulerPolicy::kFifo},
+                      task_devices(1));
+  ASSERT_TRUE(
+      scheduler.submit(deadline_batch(0, stories, 1, 0, 30'000'000, 0)));
+  ASSERT_TRUE(
+      scheduler.submit(deadline_batch(0, stories, 1, 0, 10'000'000, 1)));
+
+  const auto all = drain(scheduler);
+  ASSERT_EQ(all.size(), 2U);
+  EXPECT_LT(dispatch_cycle_of(all, 0), dispatch_cycle_of(all, 1));
+}
+
+TEST(Scheduler, EdfWithoutDeadlinesDegradesToSubmitOrder) {
+  const auto stories = tiny_stories(2);
+  Scheduler scheduler({.devices = 1, .policy = SchedulerPolicy::kEdf},
+                      task_devices(1));
+  ASSERT_TRUE(scheduler.submit(make_batch(0, stories, 1, 0, 0)));
+  ASSERT_TRUE(scheduler.submit(make_batch(0, stories, 1, 0, 1)));
+  const auto all = drain(scheduler);
+  ASSERT_EQ(all.size(), 2U);
+  EXPECT_LT(dispatch_cycle_of(all, 0), dispatch_cycle_of(all, 1));
+}
+
+TEST(Scheduler, WorkStealingDrainsOverloadedShard) {
+  const auto stories = tiny_stories(4);
+  // Fully sharded pool, one task: every batch homes on slot 0. Slot 1's
+  // shard queue is empty, so it must steal — the tight deadlines make
+  // waiting for slot 0 a guaranteed SLO miss, which satisfies the
+  // steal-worthwhile gate.
+  Scheduler scheduler({.devices = 2,
+                       .dedicated_devices = 2,
+                       .policy = SchedulerPolicy::kEdf,
+                       .work_stealing = true},
+                      task_devices(1));
+  ASSERT_TRUE(scheduler.submit(deadline_batch(0, stories, 2, 0, 1'000, 0)));
+  ASSERT_TRUE(scheduler.submit(deadline_batch(0, stories, 2, 0, 2'000, 2)));
+  scheduler.step(0);
+  EXPECT_EQ(scheduler.pending_batches(), 0U);
+  const auto reports = scheduler.device_reports();
+  EXPECT_EQ(reports[0].batches, 1U);
+  EXPECT_EQ(reports[1].batches, 1U);
+  EXPECT_EQ(reports[0].stolen_batches, 0U);
+  EXPECT_EQ(reports[1].stolen_batches, 1U);
+  EXPECT_EQ(scheduler.total_stolen_batches(), 1U);
+}
+
+TEST(Scheduler, StealingOffLeavesForeignShardsIdle) {
+  const auto stories = tiny_stories(4);
+  Scheduler scheduler({.devices = 2,
+                       .dedicated_devices = 2,
+                       .policy = SchedulerPolicy::kEdf,
+                       .work_stealing = false},
+                      task_devices(1));
+  ASSERT_TRUE(scheduler.submit(make_batch(0, stories, 2, 0, 0)));
+  ASSERT_TRUE(scheduler.submit(make_batch(0, stories, 2, 0, 2)));
+  scheduler.step(0);
+  // Without stealing the second batch waits for slot 0 to free.
+  EXPECT_EQ(scheduler.pending_batches(), 1U);
+  EXPECT_EQ(scheduler.device_reports()[1].batches, 0U);
+}
+
+TEST(Scheduler, StealingNeverLosesOrDuplicatesBatches) {
+  const auto stories = tiny_stories(4);
+  // 4 fully sharded slots, 2 tasks (homes 0 and 1; slots 2 and 3 can
+  // only ever steal), EDF with interleaved deadlines.
+  Scheduler scheduler({.devices = 4,
+                       .dedicated_devices = 4,
+                       .queue_capacity = 128,
+                       .policy = SchedulerPolicy::kEdf,
+                       .work_stealing = true},
+                      task_devices(2));
+  const std::size_t batches = 24;
+  for (std::size_t b = 0; b < batches; ++b) {
+    // Deadlines tight enough that waiting for a busy home shard is a
+    // certain miss (keeps the steal-worthwhile gate open) but spread so
+    // EDF genuinely reorders.
+    const sim::Cycle deadline = 2'000 * ((b % 5) + 1);
+    ASSERT_TRUE(scheduler.submit(
+        deadline_batch(b % 2, stories, 4, 0, deadline, b * 4)));
+  }
+
+  const auto all = drain(scheduler);
+  ASSERT_EQ(all.size(), batches * 4);
+  std::vector<RequestId> ids;
+  ids.reserve(all.size());
+  for (const auto& r : all) {
+    ids.push_back(r.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], i);  // every request answered exactly once
+  }
+  const auto reports = scheduler.device_reports();
+  std::uint64_t total = 0;
+  for (const auto& d : reports) {
+    total += d.batches;
+  }
+  EXPECT_EQ(total, batches);
+  // The steal-only slots pulled real weight.
+  EXPECT_GT(reports[2].batches + reports[3].batches, 0U);
+  EXPECT_GT(scheduler.total_stolen_batches(), 0U);
+}
+
+TEST(Scheduler, LruEvictionDisplacesColdestResident) {
+  const auto stories = tiny_stories(2);
+  // Shared two-slot pool, three tasks: warm up task 0 on slot 0 and
+  // task 1 on slot 1, re-touch task 0, then force task 2 to evict.
+  Scheduler scheduler({.devices = 2,
+                       .policy = SchedulerPolicy::kEdf,
+                       .eviction = EvictionPolicyKind::kLru},
+                      task_devices(3));
+  ASSERT_TRUE(scheduler.submit(make_batch(0, stories, 1, 0, 0)));
+  scheduler.step(0);
+  (void)scheduler.collect(sim::kNever - 1);
+  const sim::Cycle t1 = scheduler.next_slot_free(0) == sim::kNever
+                            ? 1
+                            : scheduler.next_slot_free(0);
+  ASSERT_TRUE(scheduler.submit(make_batch(1, stories, 1, t1, 1)));
+  scheduler.step(t1);
+  (void)scheduler.collect(sim::kNever - 1);
+  const sim::Cycle t2 = t1 + 1'000'000;
+  ASSERT_TRUE(scheduler.submit(make_batch(0, stories, 1, t2, 2)));
+  scheduler.step(t2);  // re-touches task 0 on its warm slot 0
+  (void)scheduler.collect(sim::kNever - 1);
+
+  const sim::Cycle t3 = t2 + 1'000'000;
+  ASSERT_TRUE(scheduler.submit(make_batch(2, stories, 1, t3, 3)));
+  scheduler.step(t3);
+  (void)scheduler.collect(sim::kNever - 1);
+
+  // Slot 1 (task 1, least recently dispatched) was the victim; slot 0
+  // keeps the hot task 0 resident.
+  const auto reports = scheduler.device_reports();
+  EXPECT_EQ(reports[0].resident_task, 0U);
+  EXPECT_EQ(reports[1].resident_task, 2U);
+  EXPECT_EQ(reports[0].model_evictions, 0U);
+  EXPECT_EQ(reports[1].model_evictions, 1U);
+  EXPECT_EQ(scheduler.total_model_evictions(), 1U);
+}
+
+TEST(Scheduler, DeterministicAcrossPoliciesForPredictions) {
+  const auto stories = tiny_stories(6);
+  const auto predictions_under = [&](SchedulerPolicy policy) {
+    Scheduler scheduler({.devices = 2, .policy = policy}, task_devices(2));
+    EXPECT_TRUE(
+        scheduler.submit(deadline_batch(0, stories, 3, 0, 9'000'000, 0)));
+    EXPECT_TRUE(
+        scheduler.submit(deadline_batch(1, stories, 3, 0, 1'000'000, 3)));
+    auto all = drain(scheduler);
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.id < b.id; });
+    std::vector<std::int32_t> out;
+    for (const auto& r : all) {
+      out.push_back(r.prediction);
+    }
+    return out;
+  };
+  // Scheduling policy reorders work but must never change answers.
+  EXPECT_EQ(predictions_under(SchedulerPolicy::kFifo),
+            predictions_under(SchedulerPolicy::kEdf));
+}
+
 TEST(Scheduler, RejectsMalformedBatches) {
   const auto stories = tiny_stories(1);
   Scheduler scheduler({.devices = 1}, task_devices(1));

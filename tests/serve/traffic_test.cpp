@@ -1,0 +1,262 @@
+// Diurnal and trace-driven arrival processes, SLO deadline stamping, and
+// the trace CSV interchange format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/trace.hpp"
+#include "serve_test_util.hpp"
+
+namespace mann::serve {
+namespace {
+
+using testing::tiny_program;
+using testing::tiny_stories;
+
+std::vector<InferenceRequest> emit_all(const TrafficConfig& config,
+                                       std::vector<TaskWorkload> workloads,
+                                       std::size_t total) {
+  TrafficGenerator gen(config, std::move(workloads), total);
+  std::vector<InferenceRequest> out;
+  while (auto r = gen.poll(sim::kNever - 1)) {
+    out.push_back(*r);
+  }
+  return out;
+}
+
+TEST(DiurnalTraffic, KeepsLongRunRate) {
+  const auto stories = tiny_stories(8);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kDiurnal;
+  config.mean_interarrival_cycles = 1'000.0;
+  config.diurnal_amplitude = 0.8;
+  config.diurnal_period_cycles = 500'000.0;
+  const auto requests = emit_all(config, {{0, stories}}, 4'000);
+  ASSERT_EQ(requests.size(), 4'000U);
+  const double mean_gap =
+      static_cast<double>(requests.back().enqueue_cycle) / 4'000.0;
+  // Long-run rate within 25% of the flat-Poisson configuration (the
+  // sinusoid averages out over the eight periods this spans).
+  EXPECT_GT(mean_gap, 750.0);
+  EXPECT_LT(mean_gap, 1'250.0);
+}
+
+TEST(DiurnalTraffic, PeakIsDenserThanTrough) {
+  const auto stories = tiny_stories(8);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kDiurnal;
+  config.mean_interarrival_cycles = 1'000.0;
+  config.diurnal_amplitude = 0.9;
+  config.diurnal_period_cycles = 1'000'000.0;
+  const auto requests = emit_all(config, {{0, stories}}, 3'000);
+
+  // sin peaks at P/4 and troughs at 3P/4; count arrivals in equal-width
+  // windows around both across every period covered.
+  const auto period = static_cast<sim::Cycle>(config.diurnal_period_cycles);
+  std::size_t peak = 0;
+  std::size_t trough = 0;
+  for (const InferenceRequest& r : requests) {
+    const sim::Cycle phase = r.enqueue_cycle % period;
+    if (phase < period / 2) {
+      ++peak;
+    } else {
+      ++trough;
+    }
+  }
+  // With A=0.9 the first half-period carries the sinusoid's positive
+  // lobe; demand a decisive (not knife-edge) imbalance.
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(DiurnalTraffic, ValidatesModulationParameters) {
+  const auto stories = tiny_stories(2);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kDiurnal;
+  config.diurnal_amplitude = 1.0;  // rate would touch zero
+  EXPECT_THROW(TrafficGenerator(config, {{0, stories}}, 4),
+               std::invalid_argument);
+  config.diurnal_amplitude = 0.5;
+  config.diurnal_period_cycles = 0.0;
+  EXPECT_THROW(TrafficGenerator(config, {{0, stories}}, 4),
+               std::invalid_argument);
+}
+
+TEST(TraceTraffic, ReplaysScheduleExactly) {
+  const auto stories = tiny_stories(4);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kTrace;
+  config.trace = {{100, 1}, {250, 0}, {250, 1}, {900, 0}};
+  const auto requests =
+      emit_all(config, {{0, stories}, {1, stories}}, 4);
+  ASSERT_EQ(requests.size(), 4U);
+  EXPECT_EQ(requests[0].enqueue_cycle, 100U);
+  EXPECT_EQ(requests[0].task, 1U);
+  EXPECT_EQ(requests[1].enqueue_cycle, 250U);
+  EXPECT_EQ(requests[1].task, 0U);
+  EXPECT_EQ(requests[2].enqueue_cycle, 250U);
+  EXPECT_EQ(requests[2].task, 1U);
+  EXPECT_EQ(requests[3].enqueue_cycle, 900U);
+  EXPECT_EQ(requests[3].task, 0U);
+}
+
+TEST(TraceTraffic, LoopsWithShiftWhenRequestsExceedTrace) {
+  const auto stories = tiny_stories(4);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kTrace;
+  config.trace = {{100, 0}, {400, 0}};
+  const auto requests = emit_all(config, {{0, stories}}, 5);
+  ASSERT_EQ(requests.size(), 5U);
+  // Span = last + max(1, last/n) = 400 + 200 = 600 per lap.
+  EXPECT_EQ(requests[0].enqueue_cycle, 100U);
+  EXPECT_EQ(requests[1].enqueue_cycle, 400U);
+  EXPECT_EQ(requests[2].enqueue_cycle, 700U);
+  EXPECT_EQ(requests[3].enqueue_cycle, 1'000U);
+  EXPECT_EQ(requests[4].enqueue_cycle, 1'300U);
+}
+
+TEST(TraceTraffic, RejectsMalformedTraces) {
+  const auto stories = tiny_stories(2);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kTrace;
+  config.trace = {};
+  EXPECT_THROW(TrafficGenerator(config, {{0, stories}}, 2),
+               std::invalid_argument);
+  config.trace = {{500, 0}, {100, 0}};  // time goes backwards
+  EXPECT_THROW(TrafficGenerator(config, {{0, stories}}, 2),
+               std::invalid_argument);
+  config.trace = {{100, 9}};  // unknown task
+  EXPECT_THROW(TrafficGenerator(config, {{0, stories}}, 1),
+               std::invalid_argument);
+}
+
+TEST(SloDeadlines, StampedFromPerTaskConfig) {
+  const auto stories = tiny_stories(4);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kTrace;
+  config.trace = {{100, 0}, {200, 1}, {300, 2}};
+  config.slo.default_deadline_cycles = 5'000;
+  config.slo.per_task = {0, 1'000};  // task 0 default, task 1 tight
+  const auto requests = emit_all(
+      config, {{0, stories}, {1, stories}, {2, stories}}, 3);
+  ASSERT_EQ(requests.size(), 3U);
+  EXPECT_EQ(requests[0].deadline_cycle, 5'100U);
+  EXPECT_EQ(requests[1].deadline_cycle, 1'200U);
+  EXPECT_EQ(requests[2].deadline_cycle, 5'300U);  // beyond per_task: default
+}
+
+TEST(SloDeadlines, NoSloMeansNoDeadline) {
+  const auto stories = tiny_stories(2);
+  TrafficConfig config;
+  config.mean_interarrival_cycles = 1'000.0;
+  const auto requests = emit_all(config, {{0, stories}}, 3);
+  for (const InferenceRequest& r : requests) {
+    EXPECT_EQ(r.deadline_cycle, sim::kNever);
+    EXPECT_FALSE(InferenceResponse{.deadline_cycle = r.deadline_cycle}
+                     .has_deadline());
+  }
+}
+
+TEST(TraceCsv, RoundTripsThroughDisk) {
+  const std::vector<TraceEntry> entries = {{0, 3}, {120, 0}, {120, 1},
+                                           {99'000, 2}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mann_trace_rt.csv").string();
+  save_trace_csv(path, entries);
+  const std::vector<TraceEntry> loaded = load_trace_csv(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded, entries);
+}
+
+TEST(TraceCsv, AcceptsCommentsBlanksAndHeader) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mann_trace_hdr.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "# recorded 2026-07-29\n"
+        << "arrival_cycle,task_id\n"
+        << "\n"
+        << "10,0\n"
+        << "  20,1  \n";
+  }
+  const std::vector<TraceEntry> loaded = load_trace_csv(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), 2U);
+  EXPECT_EQ(loaded[0], (TraceEntry{10, 0}));
+  EXPECT_EQ(loaded[1], (TraceEntry{20, 1}));
+}
+
+TEST(TraceCsv, RejectsGarbageAndBackwardsTime) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mann_trace_bad.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "10,zero\n";
+  }
+  EXPECT_THROW((void)load_trace_csv(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "100,0\n50,0\n";
+  }
+  EXPECT_THROW((void)load_trace_csv(path), std::runtime_error);
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)load_trace_csv(path), std::runtime_error);  // missing
+}
+
+// The tentpole determinism contract: trace-driven replay produces the
+// identical simulated timeline for any worker count (speculation must
+// never leak into dispatch decisions), under the deadline-aware policy.
+TEST(TraceTraffic, ReplayDeterministicAcrossWorkerCounts) {
+  const auto stories = tiny_stories(10);
+  std::vector<TraceEntry> trace;
+  for (sim::Cycle i = 0; i < 60; ++i) {
+    trace.push_back({i * 700, i % 2});
+  }
+
+  const auto run_with_workers = [&](std::size_t workers) {
+    ServerConfig config;
+    config.traffic.process = ArrivalProcess::kTrace;
+    config.traffic.trace = trace;
+    config.traffic.slo.default_deadline_cycles = 400'000;
+    config.batcher.max_batch = 4;
+    config.batcher.max_wait_cycles = 20'000;
+    config.scheduler.devices = 2;
+    config.scheduler.dedicated_devices = 2;
+    config.scheduler.policy = SchedulerPolicy::kEdf;
+    config.scheduler.workers = workers;
+    std::vector<ServedModel> models;
+    models.push_back({tiny_program(7), stories});
+    models.push_back({tiny_program(8), stories});
+    return Server(config, std::move(models)).run(60);
+  };
+
+  const ServingReport sequential = run_with_workers(0);
+  ASSERT_EQ(sequential.completed, 60U);
+  for (const std::size_t workers : {1U, 3U}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const ServingReport parallel = run_with_workers(workers);
+    EXPECT_EQ(parallel.makespan_cycles, sequential.makespan_cycles);
+    EXPECT_DOUBLE_EQ(parallel.accuracy, sequential.accuracy);
+    EXPECT_DOUBLE_EQ(parallel.latency.p99_cycles,
+                     sequential.latency.p99_cycles);
+    EXPECT_EQ(parallel.deadline_missed, sequential.deadline_missed);
+    EXPECT_DOUBLE_EQ(parallel.deadline_hit_rate,
+                     sequential.deadline_hit_rate);
+    EXPECT_EQ(parallel.model_uploads, sequential.model_uploads);
+    EXPECT_EQ(parallel.model_evictions, sequential.model_evictions);
+    EXPECT_EQ(parallel.stolen_batches, sequential.stolen_batches);
+    EXPECT_DOUBLE_EQ(parallel.energy.per_inference_joules,
+                     sequential.energy.per_inference_joules);
+  }
+}
+
+}  // namespace
+}  // namespace mann::serve
