@@ -14,17 +14,24 @@
 //      EDF must match FIFO's accuracy bit-for-bit while meeting at least
 //      as many deadlines at equal-or-better p99)
 //   5. optional trace replay (--trace)  (recorded schedule, identical
-//      simulated reports across worker counts)
+//      simulated reports across worker counts; v2 traces carry tenants)
 //   6. sequential vs workers+cache      (wall-clock only; simulated
 //      numbers must be bit-identical)
+//   7. multi-tenant QoS at overload     (one adversarial quota-violating
+//      tenant beside two conforming ones: plain EDF lets the flood
+//      degrade the conforming tenants' SLOs; admission control + WFQ
+//      must keep conforming hit-rates >= 99%, with the simulated
+//      report — per-tenant outcomes included — invariant across worker
+//      counts)
 //
 // Expected shapes: stories/s grows with the pool until arrival-bound;
 // accuracy is identical across pool sizes AND scheduler policies (same
 // request set, same programs — ordering must not change predictions);
 // p99 tracks queueing, not the datapath; EDF buys its deadline hit-rate
-// from reordering and stealing, not from dropping work; and the parallel
-// runtime moves wall-clock while leaving every simulated number
-// untouched.
+// from reordering and stealing, not from dropping work; admission + WFQ
+// buy tenant isolation from shedding the misbehaving tenant, never the
+// conforming ones; and the parallel runtime moves wall-clock while
+// leaving every simulated number untouched.
 //
 // Flags:
 //   --tasks K          suite tasks to serve (default 4, max = suite size;
@@ -40,9 +47,11 @@
 //                      runs on shared machines; simulated identity still
 //                      gates)
 //   --train-fallback   train stand-in models when mann_bench_cache is absent
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -243,6 +252,65 @@ bool simulated_reports_identical(const serve::ServingReport& a,
          a.batching.batches_out == b.batching.batches_out;
 }
 
+/// The per-tenant view must be worker-count invariant too (completions,
+/// violations and every ShedReason-tagged shed, tenant by tenant —
+/// TenantReport's defaulted operator== covers every field, so this check
+/// cannot go stale as the report grows).
+bool tenant_reports_identical(const serve::ServingReport& a,
+                              const serve::ServingReport& b) {
+  return a.tenants == b.tenants;
+}
+
+/// The three-tenant QoS mix: two conforming tenants (interactive tier 0,
+/// batch tier 1) and one adversarial tenant that offers ~2/3 of the
+/// traffic while its quota entitles it to a small fraction of that.
+std::vector<serve::TenantConfig> qos_tenants() {
+  std::vector<serve::TenantConfig> tenants(3);
+  tenants[0].tier = 0;
+  tenants[0].weight = 4.0;
+  tenants[0].traffic_share = 1.0;
+  tenants[1].tier = 1;
+  tenants[1].weight = 2.0;
+  tenants[1].traffic_share = 1.0;
+  tenants[2].tier = 2;
+  tenants[2].weight = 1.0;
+  tenants[2].traffic_share = 4.0;  // the flood
+  tenants[2].quota_interarrival_cycles = 8'000.0;  // entitled to ~1/5th
+  tenants[2].quota_burst = 16.0;
+  return tenants;
+}
+
+/// Worst conforming (non-adversarial, tiers 0-1) deadline hit-rate.
+double conforming_hit_rate(const serve::ServingReport& report) {
+  double worst = 1.0;
+  for (const serve::TenantReport& tenant : report.tenants) {
+    if (tenant.tenant <= 1) {
+      worst = std::min(worst, tenant.hit_rate());
+    }
+  }
+  return worst;
+}
+
+void print_tenant_rows(const serve::ServingReport& report) {
+  for (const serve::TenantReport& t : report.tenants) {
+    std::printf("    tenant %u (tier %u, w=%.0f): admitted %llu, "
+                "completed %llu, hit %.2f%%, shed full/quota/doom/over = "
+                "%llu/%llu/%llu/%llu\n",
+                t.tenant, t.tier, t.weight,
+                static_cast<unsigned long long>(t.admitted),
+                static_cast<unsigned long long>(t.completed),
+                t.hit_rate() * 100.0,
+                static_cast<unsigned long long>(
+                    t.shed.count(serve::ShedReason::kQueueFull)),
+                static_cast<unsigned long long>(
+                    t.shed.count(serve::ShedReason::kQuota)),
+                static_cast<unsigned long long>(
+                    t.shed.count(serve::ShedReason::kDoomed)),
+                static_cast<unsigned long long>(
+                    t.shed.count(serve::ShedReason::kOverload)));
+  }
+}
+
 void write_policy_json(std::FILE* f, const char* key,
                        const serve::ServingReport& r, bool trailing_comma) {
   std::fprintf(f, "  \"%s\": {\n", key);
@@ -301,7 +369,9 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
                 const runtime::ServingOptions& accept,
                 const serve::ServingReport& sequential,
                 const serve::ServingReport& parallel, double speedup,
-                bool identical) {
+                bool identical, const serve::ServingReport& qos_edf,
+                const serve::ServingReport& qos_wfq,
+                bool qos_worker_identical) {
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
@@ -312,7 +382,7 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
   const serve::ServingReport& r = opts.parallel ? parallel : sequential;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"serve_throughput\",\n");
-  std::fprintf(f, "  \"schema\": 2,\n");
+  std::fprintf(f, "  \"schema\": 3,\n");
   std::fprintf(f, "  \"suite_source\": \"%s\",\n", suite_source.c_str());
   std::fprintf(f, "  \"tasks\": %zu,\n", opts.tasks);
   std::fprintf(f, "  \"requests\": %zu,\n", opts.requests);
@@ -348,6 +418,33 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
   std::fprintf(f, "    \"mean_power_watts\": %.6f,\n", r.energy.mean_watts);
   std::fprintf(f, "    \"energy_per_inference_joules\": %.9f\n",
                r.energy.per_inference_joules);
+  std::fprintf(f, "  },\n");
+  // The multi-tenant QoS acceptance (sweep 7): deterministic simulated
+  // numbers, so CI gates conforming-tenant hit-rate and fairness on
+  // them beside throughput/energy.
+  std::fprintf(f, "  \"multitenant\": {\n");
+  std::fprintf(f, "    \"conforming_hit_rate_edf\": %.6f,\n",
+               conforming_hit_rate(qos_edf));
+  std::fprintf(f, "    \"conforming_hit_rate\": %.6f,\n",
+               conforming_hit_rate(qos_wfq));
+  std::fprintf(f, "    \"fairness_index\": %.6f,\n",
+               qos_wfq.fairness_index);
+  std::fprintf(f, "    \"rejected\": %llu,\n",
+               static_cast<unsigned long long>(qos_wfq.rejected));
+  std::fprintf(f, "    \"shed_queue_full\": %llu,\n",
+               static_cast<unsigned long long>(
+                   qos_wfq.shed.count(serve::ShedReason::kQueueFull)));
+  std::fprintf(f, "    \"shed_quota\": %llu,\n",
+               static_cast<unsigned long long>(
+                   qos_wfq.shed.count(serve::ShedReason::kQuota)));
+  std::fprintf(f, "    \"shed_doomed\": %llu,\n",
+               static_cast<unsigned long long>(
+                   qos_wfq.shed.count(serve::ShedReason::kDoomed)));
+  std::fprintf(f, "    \"shed_overload\": %llu,\n",
+               static_cast<unsigned long long>(
+                   qos_wfq.shed.count(serve::ShedReason::kOverload)));
+  std::fprintf(f, "    \"worker_identical\": %s\n",
+               qos_worker_identical ? "true" : "false");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"host\": {\n");
   std::fprintf(f, "    \"sequential_wall_seconds\": %.6f%s\n",
@@ -521,11 +618,23 @@ int main(int argc, char** argv) {
     print_serving_header();
     runtime::ServingOptions trace_load = base;
     trace_load.process = serve::ArrivalProcess::kTrace;
-    trace_load.trace = serve::load_trace_csv(opts.trace_path);
+    try {
+      trace_load.trace = serve::load_trace_csv(opts.trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
     // Traces may name any suite task; a truncated --tasks run can only
-    // replay the tasks it loaded.
+    // replay the tasks it loaded. v2 traces also name tenants — cover
+    // the recording with a default registry (QoS knobs are the
+    // replayer's choice; the recording only fixes identity).
+    serve::TenantId max_tenant = 0;
     for (serve::TraceEntry& entry : trace_load.trace) {
       entry.task %= tasks.size();
+      max_tenant = std::max(max_tenant, entry.tenant);
+    }
+    if (max_tenant > 0) {
+      trace_load.tenants.assign(max_tenant + 1, serve::TenantConfig{});
     }
     trace_load.pool_devices = 4;
     trace_load.dedicated_devices = 4;
@@ -609,9 +718,100 @@ int main(int argc, char** argv) {
     std::printf("\n(parallel leg skipped: --parallel off)\n");
   }
 
+  // Multi-tenant QoS acceptance: bursty overload with one adversarial
+  // (quota-violating) tenant beside two conforming ones. Plain EDF has
+  // no notion of who a request belongs to, so the flood degrades the
+  // conforming tenants' SLOs; the admission controller (quota + doom +
+  // tiered overload shedding) plus WFQ dispatch must hold the
+  // conforming tenants' deadline hit-rate at >= 99% — and the whole
+  // per-tenant outcome must be invariant across worker counts.
+  bench::print_header(
+      "Serving sweep 7: multi-tenant QoS — plain EDF vs admission + WFQ "
+      "(N=4 dedicated, B=8, bursty overload, adversarial tenant 2)");
+  print_serving_header();
+  runtime::ServingOptions qos_load = base;
+  qos_load.pool_devices = 4;
+  qos_load.dedicated_devices = 4;
+  qos_load.process = serve::ArrivalProcess::kBursty;
+  qos_load.mean_interarrival_cycles = 1'200.0;
+  qos_load.requests = opts.requests;
+  qos_load.slo_per_task = mixed_slos(tasks.size());
+  qos_load.tenants = qos_tenants();
+
+  // Leg A: the PR-3 escape hatch — EDF dispatch, transparent admission.
+  qos_load.policy = serve::SchedulerPolicy::kEdf;
+  qos_load.admission = serve::AdmissionConfig{};
+  qos_load.admission.enforce_quotas = false;
+  const runtime::ServingMeasurement qos_edf =
+      runtime::measure_serving(tasks, qos_load);
+  print_serving_row(qos_edf);
+  print_tenant_rows(qos_edf.report);
+
+  // Leg B: the control plane on — quotas, doom shedding, tiered
+  // overload shedding, WFQ dispatch (weights from the registry).
+  qos_load.policy = serve::SchedulerPolicy::kWfq;
+  qos_load.admission = serve::AdmissionConfig{};
+  qos_load.admission.enforce_quotas = true;
+  qos_load.admission.shed_doomed = true;
+  qos_load.admission.overload_pending_requests = 1'024;
+  qos_load.admission.overload_watermark = 0.70;
+  const runtime::ServingMeasurement qos_wfq =
+      runtime::measure_serving(tasks, qos_load);
+  print_serving_row(qos_wfq);
+  print_tenant_rows(qos_wfq.report);
+
+  // Worker invariance covers the per-tenant view too: admission and WFQ
+  // decisions are simulated state, so workers must not move them.
+  qos_load.workers = 4;
+  const runtime::ServingMeasurement qos_wfq_workers =
+      runtime::measure_serving(tasks, qos_load);
+  qos_load.workers = 0;
+  const bool qos_worker_identical =
+      simulated_reports_identical(qos_wfq.report, qos_wfq_workers.report) &&
+      tenant_reports_identical(qos_wfq.report, qos_wfq_workers.report);
+
+  const double conforming_edf = conforming_hit_rate(qos_edf.report);
+  const double conforming_wfq = conforming_hit_rate(qos_wfq.report);
+  std::printf(
+      "\nplain EDF -> admission+WFQ: conforming-tenant hit %.1f%% -> "
+      "%.1f%% (must reach >= 99%%); fairness %.3f -> %.3f; shed "
+      "full/quota/doom/over = %llu/%llu/%llu/%llu; workers=4 simulated + "
+      "tenant reports %s\n",
+      conforming_edf * 100.0, conforming_wfq * 100.0,
+      qos_edf.report.fairness_index, qos_wfq.report.fairness_index,
+      static_cast<unsigned long long>(
+          qos_wfq.report.shed.count(serve::ShedReason::kQueueFull)),
+      static_cast<unsigned long long>(
+          qos_wfq.report.shed.count(serve::ShedReason::kQuota)),
+      static_cast<unsigned long long>(
+          qos_wfq.report.shed.count(serve::ShedReason::kDoomed)),
+      static_cast<unsigned long long>(
+          qos_wfq.report.shed.count(serve::ShedReason::kOverload)),
+      qos_worker_identical ? "identical" : "DIVERGED");
+  // Isolation also means the protection is not bought by shedding the
+  // conforming tenants themselves: their traffic sits inside quota and
+  // below the overload watermark, so every one of their requests must be
+  // admitted. (Hit-rate alone would miss a regression that sheds
+  // conforming traffic — shed requests never reach the metrics.)
+  std::uint64_t conforming_sheds = 0;
+  for (const serve::TenantReport& tenant : qos_wfq.report.tenants) {
+    if (tenant.tenant <= 1) {
+      conforming_sheds += tenant.shed.total();
+    }
+  }
+  const bool qos_ok = conforming_wfq >= 0.99 &&
+                      conforming_wfq >= conforming_edf &&
+                      conforming_sheds == 0 && qos_worker_identical;
+  std::printf("multi-tenant check (conforming hit >= 99%% under "
+              "admission+WFQ, >= plain EDF, zero conforming sheds [%llu], "
+              "worker-identical): %s\n",
+              static_cast<unsigned long long>(conforming_sheds),
+              qos_ok ? "PASS" : "FAIL");
+
   if (!opts.json_path.empty()) {
     write_json(opts, suite_source, accept, sequential.report,
-               parallel.report, wall_speedup, identical);
+               parallel.report, wall_speedup, identical, qos_edf.report,
+               qos_wfq.report, qos_worker_identical);
   }
 
   std::printf(
@@ -622,6 +822,8 @@ int main(int argc, char** argv) {
       "Poisson at equal mean load (sweep 3);\nEDF + stealing meets more "
       "deadlines than FIFO at equal accuracy (sweep 4); trace replay\nis "
       "worker-count invariant (sweep 5); workers + cache move only the "
-      "wall column (sweep 6).\n");
-  return scaling_ok && policy_ok && trace_ok && parallel_ok ? 0 : 1;
+      "wall column (sweep 6);\nadmission + WFQ shield conforming "
+      "tenants from an adversarial flood (sweep 7).\n");
+  return scaling_ok && policy_ok && trace_ok && parallel_ok && qos_ok ? 0
+                                                                     : 1;
 }

@@ -12,13 +12,19 @@ Fails (exit 1) when:
     throughput),
   * simulated accuracy dropped (bit-stable given the seed, so any drop
     is a real behaviour change),
-  * the simulated deadline hit-rate dropped by more than a point,
+  * the simulated deadline hit-rate dropped by more than a point (so a
+    scheduling regression that preserves throughput but tanks SLOs
+    still fails),
+  * the multi-tenant QoS leg regressed: the conforming-tenant deadline
+    hit-rate dropped by more than a point, the Jain fairness index
+    dropped by more than 0.05, or the per-tenant outcome diverged
+    across worker counts (worker_identical == false),
   * the parallel leg's simulated report diverged from the sequential
     path (reports_identical == false).
 
-Only the `simulated` block gates: it is deterministic given the seed.
-The `host` block (wall clock, cache hit rate) is machine-dependent and
-reported for information only.
+Only the `simulated` and `multitenant` blocks gate: they are
+deterministic given the seed. The `host` block (wall clock, cache hit
+rate) is machine-dependent and reported for information only.
 """
 
 import argparse
@@ -105,6 +111,31 @@ def main():
 
     for key in ("p50_ms", "p99_ms"):
         print(f"{key}: {cur_sim[key]:.3f} vs baseline {base_sim[key]:.3f}")
+
+    # Multi-tenant QoS gates (schema >= 3): the adversarial-tenant leg's
+    # conforming hit-rate and fairness are deterministic, so any drop is
+    # a real isolation regression.
+    cur_mt = current.get("multitenant")
+    base_mt = baseline.get("multitenant")
+    if cur_mt is None or base_mt is None:
+        failures.append("multitenant block missing (schema < 3? regenerate "
+                        "with scripts/update_bench_baseline.sh)")
+    else:
+        cur_conf = cur_mt["conforming_hit_rate"]
+        base_conf = base_mt["conforming_hit_rate"]
+        print(f"conforming-tenant hit rate: {cur_conf:.1%} vs baseline "
+              f"{base_conf:.1%}")
+        if cur_conf < base_conf - 0.01:
+            failures.append(f"conforming-tenant hit rate dropped "
+                            f"{base_conf:.1%} -> {cur_conf:.1%}")
+        cur_fair = cur_mt["fairness_index"]
+        base_fair = base_mt["fairness_index"]
+        print(f"fairness index: {cur_fair:.3f} vs baseline {base_fair:.3f}")
+        if cur_fair < base_fair - 0.05:
+            failures.append(f"fairness index dropped {base_fair:.3f} -> "
+                            f"{cur_fair:.3f}")
+        if cur_mt.get("worker_identical") is False:
+            failures.append("multi-tenant leg diverged across worker counts")
 
     host = current.get("host", {})
     if host.get("reports_identical") is False:

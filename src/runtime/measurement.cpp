@@ -228,6 +228,8 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
   config.traffic.slo.default_deadline_cycles =
       options.slo_default_deadline_cycles;
   config.traffic.slo.per_task = options.slo_per_task;
+  config.traffic.tenants = options.tenants;
+  config.admission = options.admission;
   config.traffic.seed = options.seed;
   config.batcher.max_batch = options.max_batch;
   config.batcher.max_wait_cycles = options.max_wait_cycles;
@@ -250,6 +252,10 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
           options.mean_interarrival_cycles)) +
       "cy " + serve::scheduler_policy_name(options.policy) +
       (options.ith ? " + ITH" : "");
+  if (!options.tenants.empty()) {
+    measurement.config_name +=
+        " T=" + std::to_string(options.tenants.size());
+  }
   if (options.workers > 0) {
     measurement.config_name += " W=" + std::to_string(options.workers);
   }

@@ -119,6 +119,10 @@ struct ServingOptions {
   /// entries of 0 fall back to the default.
   sim::Cycle slo_default_deadline_cycles = sim::kNever;
   std::vector<sim::Cycle> slo_per_task;
+  /// Tenant registry (empty = single-tenant) and the admission-control
+  /// knobs; a default AdmissionConfig is transparent.
+  std::vector<serve::TenantConfig> tenants;
+  serve::AdmissionConfig admission;
   /// Dispatch policy, work-stealing and model-eviction policy.
   serve::SchedulerPolicy policy = serve::SchedulerPolicy::kEdf;
   bool work_stealing = true;

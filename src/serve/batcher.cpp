@@ -6,29 +6,42 @@
 
 namespace mann::serve {
 
-Batcher::Batcher(BatcherConfig config, std::size_t num_tasks)
-    : config_(config) {
+Batcher::Batcher(BatcherConfig config, std::size_t num_tasks,
+                 std::size_t num_tenants)
+    : config_(config), num_tenants_(num_tenants) {
   if (num_tasks == 0) {
     throw std::invalid_argument("Batcher: need at least one task");
+  }
+  if (num_tenants_ == 0) {
+    throw std::invalid_argument("Batcher: need at least one tenant");
   }
   if (config_.max_batch == 0) {
     throw std::invalid_argument("Batcher: max_batch must be > 0");
   }
-  queues_.reserve(num_tasks);
+  queues_.reserve(num_tasks * num_tenants_);
   for (std::size_t t = 0; t < num_tasks; ++t) {
-    queues_.emplace_back("BATCH_Q" + std::to_string(t),
-                         config_.queue_capacity);
+    for (std::size_t u = 0; u < num_tenants_; ++u) {
+      std::string name = "BATCH_Q" + std::to_string(t);
+      if (num_tenants_ > 1) {
+        name += "." + std::to_string(u);
+      }
+      queues_.emplace_back(std::move(name), config_.queue_capacity);
+    }
   }
 }
 
 bool Batcher::enqueue(const InferenceRequest& request) {
-  if (request.task >= queues_.size()) {
+  if (request.task * num_tenants_ >= queues_.size()) {
     throw std::out_of_range("Batcher: unknown task id");
+  }
+  if (request.tenant >= num_tenants_) {
+    throw std::out_of_range("Batcher: unknown tenant id");
   }
   if (request.story == nullptr) {
     throw std::invalid_argument("Batcher: request without a story");
   }
-  if (!queues_[request.task].try_push(request)) {
+  const std::size_t lane = request.task * num_tenants_ + request.tenant;
+  if (!queues_[lane].try_push(request)) {
     ++counters_.requests_rejected;
     return false;
   }
@@ -39,8 +52,8 @@ bool Batcher::enqueue(const InferenceRequest& request) {
 std::optional<Batch> Batcher::poll(sim::Cycle now) {
   const std::size_t n = queues_.size();
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t task = (rotate_ + i) % n;
-    const sim::Fifo<InferenceRequest>& q = queues_[task];
+    const std::size_t lane = (rotate_ + i) % n;
+    const sim::Fifo<InferenceRequest>& q = queues_[lane];
     const InferenceRequest* head = q.peek();
     if (head == nullptr) {
       continue;
@@ -52,22 +65,22 @@ std::optional<Batch> Batcher::poll(sim::Cycle now) {
       continue;
     }
     full ? ++counters_.flush_full : ++counters_.flush_timeout;
-    rotate_ = (task + 1) % n;  // next poll starts after the flushed task
-    return flush_task(task, now);
+    rotate_ = (lane + 1) % n;  // next poll starts after the flushed lane
+    return flush_lane(lane);
   }
   return std::nullopt;
 }
 
-std::optional<Batch> Batcher::drain(sim::Cycle now) {
+std::optional<Batch> Batcher::drain(sim::Cycle /*now*/) {
   const std::size_t n = queues_.size();
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t task = (rotate_ + i) % n;
-    if (queues_[task].empty()) {
+    const std::size_t lane = (rotate_ + i) % n;
+    if (queues_[lane].empty()) {
       continue;
     }
     ++counters_.flush_drain;
-    rotate_ = (task + 1) % n;
-    return flush_task(task, now);
+    rotate_ = (lane + 1) % n;
+    return flush_lane(lane);
   }
   return std::nullopt;
 }
@@ -100,10 +113,11 @@ sim::FifoStats Batcher::queue_stats() const noexcept {
   return combined;
 }
 
-Batch Batcher::flush_task(std::size_t task, sim::Cycle /*now*/) {
-  sim::Fifo<InferenceRequest>& q = queues_[task];
+Batch Batcher::flush_lane(std::size_t lane) {
+  sim::Fifo<InferenceRequest>& q = queues_[lane];
   Batch batch;
-  batch.task = task;
+  batch.task = lane / num_tenants_;
+  batch.tenant = static_cast<TenantId>(lane % num_tenants_);
   const std::size_t take = std::min(q.size(), config_.max_batch);
   batch.requests.reserve(take);
   batch.stories.reserve(take);

@@ -1,12 +1,18 @@
-// Dynamic batcher: coalesces same-task requests into device batches.
+// Dynamic batcher: coalesces same-task, same-tenant requests into device
+// batches.
 //
-// A device runs one task's program at a time, so batching is per task:
-// each task owns a bounded pending queue (a sim::Fifo, so queue pressure
-// is observable through the same FifoStats code path as the device
-// FIFOs). A task's queue is flushed into a Batch when it reaches
-// max_batch requests (flush-on-full) or when its oldest request has
-// waited max_wait_cycles (flush-on-timeout) — the classic
-// throughput/latency trade every serving stack exposes.
+// A device runs one task's program at a time, so batching is per task —
+// and, when a tenant registry is configured, per (task, tenant): tenant
+// isolation starts at queueing, so one tenant's backlog never rides in
+// (or delays the flush of) another tenant's batches, and every batch
+// belongs to exactly one tenant for the WFQ dispatcher downstream. Each
+// lane is a bounded pending queue (a sim::Fifo, so queue pressure is
+// observable through the same FifoStats code path as the device FIFOs).
+// A lane is flushed into a Batch when it reaches max_batch requests
+// (flush-on-full) or when its oldest request has waited max_wait_cycles
+// (flush-on-timeout) — the classic throughput/latency trade every
+// serving stack exposes. With a single tenant the layout and behaviour
+// are exactly the historical per-task batcher.
 #pragma once
 
 #include <cstdint>
@@ -23,15 +29,17 @@ namespace mann::serve {
 struct BatcherConfig {
   std::size_t max_batch = 8;
   sim::Cycle max_wait_cycles = 200'000;
-  /// Per-task pending-queue bound; enqueue() rejects beyond it (open-loop
-  /// overload shedding, surfaced as FifoStats::full_rejects).
+  /// Per-lane pending-queue bound; enqueue() rejects beyond it (open-loop
+  /// overload shedding, surfaced as FifoStats::full_rejects and counted
+  /// as a ShedReason::kQueueFull shed by the admission controller).
   std::size_t queue_capacity = 4096;
 };
 
-/// A flushed unit of work: same-task requests plus their stories laid out
-/// contiguously for Accelerator::run().
+/// A flushed unit of work: same-task, same-tenant requests plus their
+/// stories laid out contiguously for Accelerator::run().
 struct Batch {
   std::size_t task = 0;
+  TenantId tenant = 0;
   std::vector<InferenceRequest> requests;
   std::vector<data::EncodedStory> stories;  ///< parallel to requests
   /// Earliest member deadline — the urgency the EDF scheduler orders by
@@ -44,28 +52,32 @@ struct Batch {
 /// Why batches left the batcher, for the batching-efficiency report.
 struct BatcherCounters {
   std::uint64_t requests_in = 0;
-  std::uint64_t requests_rejected = 0;  ///< pending queue was full
+  std::uint64_t requests_rejected = 0;  ///< pending lane was full
   std::uint64_t batches_out = 0;
   std::uint64_t stories_out = 0;
-  std::uint64_t flush_full = 0;     ///< queue reached max_batch
+  std::uint64_t flush_full = 0;     ///< lane reached max_batch
   std::uint64_t flush_timeout = 0;  ///< oldest request aged out
   std::uint64_t flush_drain = 0;    ///< forced out by drain()
 };
 
 class Batcher {
  public:
-  Batcher(BatcherConfig config, std::size_t num_tasks);
+  Batcher(BatcherConfig config, std::size_t num_tasks,
+          std::size_t num_tenants = 1);
 
   [[nodiscard]] const BatcherConfig& config() const noexcept {
     return config_;
   }
+  [[nodiscard]] std::size_t num_tenants() const noexcept {
+    return num_tenants_;
+  }
 
-  /// Admits a request to its task's pending queue; false when that queue
+  /// Admits a request to its (task, tenant) lane; false when that lane
   /// is full (the request is shed, counted in requests_rejected).
   [[nodiscard]] bool enqueue(const InferenceRequest& request);
 
   /// Returns the next ready batch (full or timed out) at `now`, fairly
-  /// rotating across tasks; nullopt when nothing is ready.
+  /// rotating across lanes; nullopt when nothing is ready.
   [[nodiscard]] std::optional<Batch> poll(sim::Cycle now);
 
   /// Flushes pending requests regardless of age/size — the end-of-stream
@@ -82,16 +94,18 @@ class Batcher {
     return counters_;
   }
 
-  /// Aggregate FifoStats over every per-task pending queue (one code path
-  /// with the device FIFO reports).
+  /// Aggregate FifoStats over every pending lane (one code path with the
+  /// device FIFO reports).
   [[nodiscard]] sim::FifoStats queue_stats() const noexcept;
 
  private:
-  [[nodiscard]] Batch flush_task(std::size_t task, sim::Cycle now);
+  [[nodiscard]] Batch flush_lane(std::size_t lane);
 
   BatcherConfig config_;
-  std::vector<sim::Fifo<InferenceRequest>> queues_;  ///< one per task
-  std::size_t rotate_ = 0;  ///< fairness cursor over tasks
+  std::size_t num_tenants_ = 1;
+  /// Lane layout: task-major, tenant-minor (lane = task * tenants + t).
+  std::vector<sim::Fifo<InferenceRequest>> queues_;
+  std::size_t rotate_ = 0;  ///< fairness cursor over lanes
   BatcherCounters counters_;
 };
 

@@ -37,6 +37,29 @@ LatencySummary summarize(const numeric::Histogram& hist, double clock_hz) {
   return s;
 }
 
+/// Jain's fairness index over the tenants' weight-normalized completed
+/// throughput: (Σx)² / (n·Σx²), 1.0 when service is exactly
+/// proportional to weight, approaching 1/n as one tenant monopolizes.
+double jain_fairness(const std::vector<TenantReport>& tenants) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const TenantReport& tenant : tenants) {
+    if (tenant.weight <= 0.0) {
+      continue;
+    }
+    const double x =
+        static_cast<double>(tenant.completed) / tenant.weight;
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (n < 2 || sum_sq <= 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
 }  // namespace
 
 ServingMetrics::ServingMetrics(double clock_hz, std::size_t histogram_bins,
@@ -62,15 +85,22 @@ void ServingMetrics::record(const InferenceResponse& response) {
   if (response.task >= per_task_.size()) {
     per_task_.resize(response.task + 1);
   }
+  if (response.tenant >= per_tenant_.size()) {
+    per_tenant_.resize(response.tenant + 1);
+  }
   TaskCounters& task = per_task_[response.task];
+  TenantCounters& tenant = per_tenant_[response.tenant];
   task.seen = true;
   ++task.completed;
+  ++tenant.completed;
   if (response.has_deadline()) {
     ++deadline_total_;
     ++task.with_deadline;
+    ++tenant.with_deadline;
     if (!response.deadline_met()) {
       ++deadline_missed_;
       ++task.violations;
+      ++tenant.violations;
     }
   }
 }
@@ -79,7 +109,8 @@ ServingReport ServingMetrics::finalize(RunTotals totals) const {
   ServingReport report;
   report.offered = totals.offered;
   report.completed = completed_;
-  report.rejected = totals.rejected;
+  report.shed = totals.sheds;
+  report.rejected = static_cast<std::size_t>(totals.sheds.total());
   report.makespan_cycles = totals.makespan;
   report.seconds = static_cast<double>(totals.makespan) / clock_hz_;
   if (report.seconds > 0.0) {
@@ -121,6 +152,34 @@ ServingReport ServingMetrics::finalize(RunTotals totals) const {
     slo.violations = per_task_[t].violations;
     report.task_slo.push_back(slo);
   }
+
+  // Per-tenant outcomes: one report per registry entry (or per tenant
+  // observed anywhere — completions, sheds, admissions — when the
+  // registry is empty or short).
+  const std::size_t num_tenants = std::max(
+      {totals.tenants.size(), per_tenant_.size(), totals.tenant_sheds.size(),
+       totals.tenant_admitted.size(), std::size_t{1}});
+  for (std::size_t t = 0; t < num_tenants; ++t) {
+    TenantReport tenant;
+    tenant.tenant = static_cast<TenantId>(t);
+    if (t < totals.tenants.size()) {
+      tenant.tier = totals.tenants[t].tier;
+      tenant.weight = totals.tenants[t].weight;
+    }
+    if (t < per_tenant_.size()) {
+      tenant.completed = per_tenant_[t].completed;
+      tenant.with_deadline = per_tenant_[t].with_deadline;
+      tenant.violations = per_tenant_[t].violations;
+    }
+    if (t < totals.tenant_sheds.size()) {
+      tenant.shed = totals.tenant_sheds[t];
+    }
+    if (t < totals.tenant_admitted.size()) {
+      tenant.admitted = totals.tenant_admitted[t];
+    }
+    report.tenants.push_back(tenant);
+  }
+  report.fairness_index = jain_fairness(report.tenants);
 
   report.batching = totals.batching;
   report.queue_stats = totals.queue_stats;

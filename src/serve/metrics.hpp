@@ -1,10 +1,18 @@
 // Serving metrics: latency distribution, throughput, utilization,
-// batching efficiency, SLO attainment and serving energy, accumulated
-// per response and folded into one ServingReport at the end of a run.
+// batching efficiency, SLO attainment, per-tenant QoS and serving
+// energy, accumulated per response and folded into one ServingReport at
+// the end of a run.
 //
 // Latencies are accumulated in a numeric::Histogram (which retains raw
 // samples), so the report carries both exact percentiles and a binned
 // distribution without a second pass over the responses.
+//
+// Rejection accounting is unified: every shed request — the batcher's
+// full-queue rejects and the admission controller's quota/doom/overload
+// decisions alike — arrives here as ShedReason-tagged ShedCounters
+// (globally and per tenant), and `ServingReport::rejected` is their
+// total, so there is exactly one number for "requests the stack refused"
+// no matter which stage refused them.
 //
 // Energy: the accelerator's activity-based power model (src/power) folds
 // the pool's aggregate op counts, the host-link activity and the
@@ -24,6 +32,7 @@
 #include "serve/batcher.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/tenant.hpp"
 #include "sim/fifo.hpp"
 #include "sim/types.hpp"
 
@@ -58,6 +67,31 @@ struct TaskSloReport {
   }
 };
 
+/// One tenant's end-to-end QoS outcome: what it asked for, what was
+/// admitted, what completed, how its SLOs fared, and what was shed (by
+/// reason). tier/weight echo the registry so reports are self-contained.
+struct TenantReport {
+  TenantId tenant = 0;
+  std::uint32_t tier = 0;
+  double weight = 1.0;
+  std::uint64_t admitted = 0;   ///< requests that entered the batcher
+  std::uint64_t completed = 0;  ///< responses observed at the host
+  std::uint64_t with_deadline = 0;
+  std::uint64_t violations = 0;
+  ShedCounters shed;
+
+  [[nodiscard]] std::uint64_t offered() const noexcept {
+    return admitted + shed.total();
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    return with_deadline == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(violations) /
+                           static_cast<double>(with_deadline);
+  }
+  [[nodiscard]] bool operator==(const TenantReport&) const noexcept = default;
+};
+
 /// Serving-level energy estimate (see the header comment).
 struct ServingEnergy {
   double dynamic_joules = 0.0;  ///< datapath ops across every dispatch
@@ -72,7 +106,9 @@ struct ServingEnergy {
 struct ServingReport {
   std::size_t offered = 0;    ///< requests emitted by the generator
   std::size_t completed = 0;  ///< responses observed at the host
-  std::size_t rejected = 0;   ///< shed at the batcher (overload)
+  /// Requests the stack refused, over every ShedReason (queue-full,
+  /// quota, doomed, overload) — always equal to shed.total().
+  std::size_t rejected = 0;
   sim::Cycle makespan_cycles = 0;
   double seconds = 0.0;  ///< makespan at the configured clock
   double throughput_stories_per_second = 0.0;
@@ -89,6 +125,14 @@ struct ServingReport {
   std::uint64_t deadline_missed = 0;
   double deadline_hit_rate = 1.0;
   std::vector<TaskSloReport> task_slo;  ///< per served task, task-ordered
+
+  /// Multi-tenant QoS: shed accounting by reason (the unified rejection
+  /// path), per-tenant outcomes, and Jain's fairness index over the
+  /// tenants' weight-normalized completed throughput (1.0 = perfectly
+  /// proportional service; also 1.0 when fewer than two tenants).
+  ShedCounters shed;
+  std::vector<TenantReport> tenants;  ///< tenant-id-ordered
+  double fairness_index = 1.0;
 
   double mean_batch_size = 0.0;
   double batching_efficiency = 0.0;  ///< mean batch / max_batch
@@ -118,10 +162,18 @@ struct ServingReport {
 /// the end-of-run counters of the other serving components.
 struct RunTotals {
   std::size_t offered = 0;
-  std::size_t rejected = 0;
   sim::Cycle makespan = 0;
   std::size_t max_batch = 0;
   BatcherCounters batching;
+  /// Unified shed accounting from the admission controller (which also
+  /// records the batcher's full-queue rejects). `rejected` derives from
+  /// these.
+  ShedCounters sheds;
+  std::vector<ShedCounters> tenant_sheds;      ///< indexed by tenant id
+  std::vector<std::uint64_t> tenant_admitted;  ///< indexed by tenant id
+  /// Tenant registry (tier/weight echoed into the per-tenant reports and
+  /// the fairness index); empty = single default tenant.
+  std::vector<TenantConfig> tenants;
   sim::FifoStats queue_stats;
   std::vector<DeviceReport> devices;
   std::uint64_t model_uploads = 0;
@@ -166,6 +218,11 @@ class ServingMetrics {
     std::uint64_t violations = 0;
     bool seen = false;
   };
+  struct TenantCounters {
+    std::uint64_t completed = 0;
+    std::uint64_t with_deadline = 0;
+    std::uint64_t violations = 0;
+  };
 
   double clock_hz_;
   power::FpgaPowerConfig power_config_;
@@ -175,7 +232,8 @@ class ServingMetrics {
   std::uint64_t batch_size_sum_ = 0;
   std::uint64_t deadline_total_ = 0;
   std::uint64_t deadline_missed_ = 0;
-  std::vector<TaskCounters> per_task_;  ///< grows to the max task seen
+  std::vector<TaskCounters> per_task_;      ///< grows to the max task seen
+  std::vector<TenantCounters> per_tenant_;  ///< grows to the max tenant seen
   numeric::Histogram latency_;
   numeric::Histogram queue_wait_;
 };

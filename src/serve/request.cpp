@@ -5,12 +5,20 @@
 
 namespace mann::serve {
 
+namespace {
+
+/// Salt separating the tenant-draw RNG stream from the arrival stream:
+/// labelling traffic with tenants must not move a single arrival cycle.
+constexpr std::uint64_t kTenantStreamSalt = 0xA5A5'5A5A'7E6A'2019ULL;
+
+}  // namespace
+
 TrafficGenerator::TrafficGenerator(TrafficConfig config,
                                    std::vector<TaskWorkload> workloads,
                                    std::size_t total_requests)
     : config_(std::move(config)), workloads_(std::move(workloads)),
       total_(total_requests), cursors_(workloads_.size(), 0),
-      rng_(config_.seed) {
+      rng_(config_.seed), tenant_rng_(config_.seed ^ kTenantStreamSalt) {
   if (workloads_.empty()) {
     throw std::invalid_argument("TrafficGenerator: no workloads");
   }
@@ -22,6 +30,23 @@ TrafficGenerator::TrafficGenerator(TrafficConfig config,
   if (config_.mean_interarrival_cycles <= 0.0) {
     throw std::invalid_argument(
         "TrafficGenerator: mean interarrival must be positive");
+  }
+  num_tenants_ = config_.tenants.empty() ? 1 : config_.tenants.size();
+  if (!config_.tenants.empty()) {
+    double cumulative = 0.0;
+    tenant_share_cdf_.reserve(config_.tenants.size());
+    for (const TenantConfig& tenant : config_.tenants) {
+      if (tenant.traffic_share < 0.0) {
+        throw std::invalid_argument(
+            "TrafficGenerator: tenant traffic_share must be >= 0");
+      }
+      cumulative += tenant.traffic_share;
+      tenant_share_cdf_.push_back(cumulative);
+    }
+    if (cumulative <= 0.0) {
+      throw std::invalid_argument(
+          "TrafficGenerator: tenant traffic shares must sum to > 0");
+    }
   }
   if (config_.process == ArrivalProcess::kBursty) {
     if (config_.burst_mean < 1.0) {
@@ -72,6 +97,12 @@ TrafficGenerator::TrafficGenerator(TrafficConfig config,
             "TrafficGenerator: trace names task " +
             std::to_string(entry.task) + " but no such workload was given");
       }
+      if (entry.tenant >= num_tenants_) {
+        throw std::invalid_argument(
+            "TrafficGenerator: trace names tenant " +
+            std::to_string(entry.tenant) + " but the registry has " +
+            std::to_string(num_tenants_) + " tenant(s)");
+      }
       trace_task_slot_.push_back(slot);
     }
     // Loop shift: one trace span plus the trace's own mean gap, so the
@@ -92,19 +123,46 @@ std::size_t TrafficGenerator::next_workload_slot() {
   return rng_.index(workloads_.size());
 }
 
+TenantId TrafficGenerator::next_tenant() {
+  if (config_.process == ArrivalProcess::kTrace) {
+    return config_.trace[emitted_ % config_.trace.size()].tenant;
+  }
+  if (tenant_share_cdf_.size() < 2) {
+    return 0;  // no registry (or a single tenant): no draw needed
+  }
+  const double u = tenant_rng_.uniform() * tenant_share_cdf_.back();
+  for (std::size_t i = 0; i < tenant_share_cdf_.size(); ++i) {
+    if (u < tenant_share_cdf_[i]) {
+      return static_cast<TenantId>(i);
+    }
+  }
+  return static_cast<TenantId>(tenant_share_cdf_.size() - 1);
+}
+
+sim::Cycle TrafficGenerator::deadline_for(std::size_t task,
+                                          TenantId tenant) const noexcept {
+  if (tenant < config_.tenants.size() &&
+      config_.tenants[tenant].slo_deadline_cycles != 0) {
+    return config_.tenants[tenant].slo_deadline_cycles;
+  }
+  return config_.slo.deadline_for(task);
+}
+
 std::optional<InferenceRequest> TrafficGenerator::poll(sim::Cycle now) {
   if (exhausted() || next_cycle_ > now) {
     return std::nullopt;
   }
   const std::size_t task_slot = next_workload_slot();
+  const TenantId tenant = next_tenant();
   const TaskWorkload& workload = workloads_[task_slot];
   std::size_t& cursor = cursors_[task_slot];
   InferenceRequest request;
   request.id = emitted_;
   request.task = workload.task;
+  request.tenant = tenant;
   request.story = &workload.stories[cursor];
   request.enqueue_cycle = next_cycle_;
-  const sim::Cycle slo = config_.slo.deadline_for(workload.task);
+  const sim::Cycle slo = deadline_for(workload.task, tenant);
   request.deadline_cycle =
       slo == sim::kNever ? sim::kNever : next_cycle_ + slo;
   cursor = (cursor + 1) % workload.stories.size();

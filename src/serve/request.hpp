@@ -8,10 +8,13 @@
 // reproducible from a seed.
 //
 // Every request carries a completion deadline derived from a per-task SLO
-// config (sim::kNever when the task has no SLO). Deadlines are soft:
-// nothing is dropped for missing one, but the deadline-aware scheduler
-// orders work by them and the metrics report hit-rates and per-task
-// violations — the contract a latency SLO actually is.
+// config (sim::kNever when the task has no SLO) and a TenantId naming who
+// it belongs to (see serve/tenant.hpp). Tenants are drawn from the
+// configured traffic shares by a dedicated RNG stream, so labelling
+// traffic with tenants never perturbs the arrival timing — the same seed
+// produces the same schedule with or without a tenant registry. Deadlines
+// drive the deadline-aware scheduler and the admission controller's
+// load-shedding; the metrics report per-task and per-tenant hit-rates.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +24,7 @@
 
 #include "data/types.hpp"
 #include "numeric/random.hpp"
+#include "serve/tenant.hpp"
 #include "serve/trace.hpp"
 #include "sim/types.hpp"
 
@@ -51,8 +55,9 @@ struct SloConfig {
 struct InferenceRequest {
   RequestId id = 0;
   std::size_t task = 0;  ///< index into the server's model registry
+  TenantId tenant = 0;   ///< index into the tenant registry (0 = default)
   const data::EncodedStory* story = nullptr;
-  sim::Cycle enqueue_cycle = 0;   ///< arrival at the serving frontend
+  sim::Cycle enqueue_cycle = 0;             ///< arrival at the frontend
   sim::Cycle deadline_cycle = sim::kNever;  ///< SLO deadline (absolute)
 };
 
@@ -61,6 +66,7 @@ struct InferenceRequest {
 struct InferenceResponse {
   RequestId id = 0;
   std::size_t task = 0;
+  TenantId tenant = 0;          ///< carried from the request
   std::size_t device = 0;       ///< pool device that served it
   std::size_t batch_size = 0;   ///< size of the batch it rode in
   std::int32_t prediction = -1;
@@ -109,13 +115,19 @@ struct TrafficConfig {
   double diurnal_amplitude = 0.5;
   double diurnal_period_cycles = 10.0e6;
   /// Trace only: the recorded schedule to replay. Task ids must name
-  /// workloads the generator was given; arrival cycles must be
-  /// non-decreasing. When total_requests exceeds the trace length the
-  /// trace loops, shifted by its span each lap, so long experiments can
-  /// replay a short recording.
+  /// workloads the generator was given; tenant ids must name registry
+  /// entries; arrival cycles must be non-decreasing. When total_requests
+  /// exceeds the trace length the trace loops, shifted by its span each
+  /// lap, so long experiments can replay a short recording.
   std::vector<TraceEntry> trace;
   /// Per-task deadlines stamped on every emitted request.
   SloConfig slo;
+  /// Tenant registry: entry i configures tenant id i. Synthetic
+  /// processes draw each request's tenant in proportion to
+  /// `traffic_share` (from an independent RNG stream, so the arrival
+  /// timing is identical with or without tenants); trace replay takes
+  /// the tenant from the recording. Empty = single tenant 0.
+  std::vector<TenantConfig> tenants;
   std::uint64_t seed = 2019;
 };
 
@@ -126,10 +138,10 @@ struct TaskWorkload {
 };
 
 /// Deterministic open-loop arrival source: draws tasks uniformly at
-/// random (seeded), walks each task's corpus round-robin, and spaces
-/// arrivals by the configured process — except trace replay, which takes
-/// both the task and the spacing from the recording. Exhausted after
-/// `total_requests`.
+/// random (seeded), walks each task's corpus round-robin, draws tenants
+/// by traffic share, and spaces arrivals by the configured process —
+/// except trace replay, which takes the task, tenant and spacing from
+/// the recording. Exhausted after `total_requests`.
 class TrafficGenerator {
  public:
   TrafficGenerator(TrafficConfig config, std::vector<TaskWorkload> workloads,
@@ -138,6 +150,10 @@ class TrafficGenerator {
   [[nodiscard]] std::size_t total_requests() const noexcept { return total_; }
   [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
   [[nodiscard]] bool exhausted() const noexcept { return emitted_ >= total_; }
+  /// Registry size (1 when no tenants were configured).
+  [[nodiscard]] std::size_t num_tenants() const noexcept {
+    return num_tenants_;
+  }
 
   /// Arrival cycle of the next request; sim::kNever once exhausted.
   [[nodiscard]] sim::Cycle next_arrival() const noexcept {
@@ -152,6 +168,13 @@ class TrafficGenerator {
   /// Workload slot serving the next emission (trace: dictated by the
   /// recording; otherwise drawn uniformly at schedule time).
   [[nodiscard]] std::size_t next_workload_slot();
+  /// Tenant of the next emission (trace: from the recording; otherwise
+  /// drawn by traffic share from the dedicated tenant RNG stream).
+  [[nodiscard]] TenantId next_tenant();
+  /// The request's deadline: the tenant's SLO override when set,
+  /// otherwise the task's SLO.
+  [[nodiscard]] sim::Cycle deadline_for(std::size_t task,
+                                        TenantId tenant) const noexcept;
 
   TrafficConfig config_;
   std::vector<TaskWorkload> workloads_;
@@ -159,6 +182,9 @@ class TrafficGenerator {
   std::size_t emitted_ = 0;
   std::vector<std::size_t> cursors_;  ///< per-task round-robin position
   numeric::Rng rng_;
+  numeric::Rng tenant_rng_;  ///< independent stream for tenant draws
+  std::size_t num_tenants_ = 1;
+  std::vector<double> tenant_share_cdf_;  ///< cumulative traffic shares
   double arrival_clock_ = 0.0;  ///< exact (fractional) arrival time
   sim::Cycle next_cycle_ = 0;
   std::size_t burst_left_ = 0;  ///< bursty: requests left in this burst

@@ -14,6 +14,8 @@ const char* scheduler_policy_name(SchedulerPolicy policy) noexcept {
       return "fifo";
     case SchedulerPolicy::kEdf:
       return "edf";
+    case SchedulerPolicy::kWfq:
+      return "wfq";
   }
   return "unknown";
 }
@@ -34,11 +36,26 @@ Scheduler::Scheduler(SchedulerConfig config,
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     slots_[i].id = i;
   }
-  // One shard queue per dedicated slot; a single shared queue when the
-  // whole pool is shared. The queues order themselves by the policy.
-  queues_.assign(config_.dedicated_devices > 0 ? config_.dedicated_devices
-                                               : 1,
-                 PendingQueue(PendingOrder{config_.policy}));
+  // One shard per dedicated slot (a single shared shard when the whole
+  // pool is shared); under kWfq each shard fans out into one EDF lane
+  // per tenant weight. The lanes order themselves by the policy (WFQ
+  // lanes are EDF within the tenant).
+  shards_ = config_.dedicated_devices > 0 ? config_.dedicated_devices : 1;
+  if (config_.policy == SchedulerPolicy::kWfq) {
+    tenant_lanes_ = std::max<std::size_t>(1, config_.tenant_weights.size());
+    tenants_.resize(tenant_lanes_);
+    for (std::size_t t = 0; t < config_.tenant_weights.size(); ++t) {
+      if (config_.tenant_weights[t] <= 0.0) {
+        throw std::invalid_argument(
+            "Scheduler: WFQ tenant weights must be > 0");
+      }
+      tenants_[t].weight = config_.tenant_weights[t];
+    }
+  }
+  const SchedulerPolicy order = config_.policy == SchedulerPolicy::kFifo
+                                    ? SchedulerPolicy::kFifo
+                                    : SchedulerPolicy::kEdf;
+  queues_.assign(shards_ * tenant_lanes_, PendingQueue(PendingOrder{order}));
   task_dispatches_.resize(task_devices_.size(), 0);
   task_cycles_.resize(task_devices_.size());
   eviction_ = make_eviction_policy(config_.eviction);
@@ -58,12 +75,25 @@ std::size_t Scheduler::queue_for(std::size_t task) const noexcept {
                                        : 0;
 }
 
+bool Scheduler::shard_empty(std::size_t shard) const noexcept {
+  for (std::size_t lane = 0; lane < tenant_lanes_; ++lane) {
+    if (!queues_[lane_index(shard, lane)].empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool Scheduler::submit(Batch batch) {
   if (batch.task >= task_devices_.size()) {
     throw std::out_of_range("Scheduler: unknown task id");
   }
   if (batch.requests.empty()) {
     throw std::invalid_argument("Scheduler: empty batch");
+  }
+  if (tenant_lanes_ > 1 && batch.tenant >= tenant_lanes_) {
+    throw std::out_of_range("Scheduler: batch tenant outside the WFQ "
+                            "weight registry");
   }
   if (!has_capacity()) {
     ++pending_stats_.full_rejects;
@@ -72,8 +102,21 @@ bool Scheduler::submit(Batch batch) {
   if (pool_ != nullptr) {
     speculate(batch);
   }
-  const std::size_t queue = queue_for(batch.task);
-  queues_[queue].insert({std::move(batch), next_seq_++});
+  const std::size_t lane = tenant_lanes_ > 1 ? batch.tenant : 0;
+  if (tenant_lanes_ > 1) {
+    TenantQueueState& tenant = tenants_[lane];
+    if (tenant.pending == 0) {
+      // (Re)activation: a tenant returning from idle resumes at the
+      // current virtual time instead of cashing in credit for the
+      // capacity it never used.
+      tenant.virtual_finish =
+          std::max(tenant.virtual_finish, global_virtual_);
+    }
+    ++tenant.pending;
+  }
+  const std::size_t index = lane_index(queue_for(batch.task), lane);
+  pending_stories_ += batch.size();
+  queues_[index].insert({std::move(batch), next_seq_++});
   ++pending_total_;
   ++pending_stats_.pushes;
   pending_stats_.max_occupancy =
@@ -96,6 +139,29 @@ sim::Cycle Scheduler::reload_estimate(std::size_t task) const noexcept {
     return est.cold - est.warm;  // the pure model-upload delta
   }
   return est.cold;  // warm variant not yet observed: whole cold run
+}
+
+sim::Cycle Scheduler::service_estimate(std::size_t task) const noexcept {
+  if (task >= task_cycles_.size()) {
+    return 0;
+  }
+  const TaskCycleEstimate& est = task_cycles_[task];
+  return est.warm > 0 ? est.warm : est.cold;
+}
+
+sim::Cycle Scheduler::backlog_cycles(sim::Cycle now) const noexcept {
+  sim::Cycle total = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.busy_until > now) {
+      total += slot.busy_until - now;
+    }
+  }
+  for (const PendingQueue& queue : queues_) {
+    for (const PendingBatch& pending : queue) {
+      total += service_estimate(pending.batch.task);
+    }
+  }
+  return total;
 }
 
 void Scheduler::speculate(const Batch& batch) {
@@ -128,12 +194,32 @@ void Scheduler::speculate(const Batch& batch) {
 }
 
 void Scheduler::step(sim::Cycle now) {
-  if (config_.policy == SchedulerPolicy::kFifo) {
-    step_fifo(now);
-    return;
+  switch (config_.policy) {
+    case SchedulerPolicy::kFifo:
+      step_fifo(now);
+      return;
+    case SchedulerPolicy::kEdf:
+      while (dispatch_best_edf(now)) {
+      }
+      return;
+    case SchedulerPolicy::kWfq:
+      while (dispatch_best_wfq(now)) {
+      }
+      return;
   }
-  while (dispatch_best_edf(now)) {
+}
+
+Batch Scheduler::pop_queue(std::size_t index) {
+  PendingQueue& queue = queues_[index];
+  auto node = queue.extract(queue.begin());
+  Batch batch = std::move(node.value().batch);
+  --pending_total_;
+  ++pending_stats_.pops;
+  pending_stories_ -= batch.size();
+  if (tenant_lanes_ > 1) {
+    --tenants_[index % tenant_lanes_].pending;
   }
+  return batch;
 }
 
 void Scheduler::step_fifo(sim::Cycle now) {
@@ -159,10 +245,7 @@ void Scheduler::step_fifo(sim::Cycle now) {
     if (slot == nullptr) {
       return;  // head-of-line batch waits; nothing behind it jumps ahead
     }
-    auto node = queues_[best_queue].extract(queues_[best_queue].begin());
-    const Batch batch = std::move(node.value().batch);
-    --pending_total_;
-    ++pending_stats_.pops;
+    const Batch batch = pop_queue(best_queue);
     dispatch(*slot, batch, now, /*stolen=*/false);
   }
 }
@@ -226,6 +309,21 @@ bool Scheduler::steal_worthwhile(std::size_t home_queue, const Batch& batch,
   return false;
 }
 
+bool Scheduler::slot_eligible(const Slot& slot, std::size_t q,
+                              bool steal_ok, sim::Cycle now) const noexcept {
+  // Eligible free slots for shard q: its home slot, the overflow pool,
+  // and — when stealing is on and worth the reload — any foreign
+  // dedicated slot that is idle (free with an empty shard).
+  if (!slot.free(now)) {
+    return false;
+  }
+  const std::size_t dedicated = config_.dedicated_devices;
+  if (dedicated == 0 || slot.id >= dedicated || slot.id == q) {
+    return true;
+  }
+  return steal_ok && shard_empty(slot.id);
+}
+
 bool Scheduler::dispatch_best_edf(sim::Cycle now) {
   if (pending_total_ == 0) {
     return false;
@@ -233,23 +331,10 @@ bool Scheduler::dispatch_best_edf(sim::Cycle now) {
   // Urgency key: deadline first (kNever sorts last, so SLO-free batches
   // degrade to submit order), admission sequence as the deterministic
   // tie-break. Each shard queue keeps that order, so its begin() is the
-  // shard's most urgent batch.
+  // shard's most urgent batch. (Under kEdf there is exactly one tenant
+  // lane, so queue index == shard index.)
   using Key = std::tuple<sim::Cycle, std::uint64_t>;
   const std::size_t dedicated = config_.dedicated_devices;
-
-  // Eligible free slots for shard q: its home slot, the overflow pool,
-  // and — when stealing is on and worth the reload — any foreign
-  // dedicated slot that is idle (free with an empty shard queue).
-  const auto eligible = [&](const Slot& slot, std::size_t q,
-                            bool steal_ok) {
-    if (!slot.free(now)) {
-      return false;
-    }
-    if (dedicated == 0 || slot.id >= dedicated || slot.id == q) {
-      return true;
-    }
-    return steal_ok && queues_[slot.id].empty();
-  };
 
   std::size_t best_queue = queues_.size();
   Key best_key{};
@@ -267,7 +352,7 @@ bool Scheduler::dispatch_best_edf(sim::Cycle now) {
                           steal_worthwhile(q, head.batch, now);
     bool has_slot = false;
     for (const Slot& slot : slots_) {
-      if (eligible(slot, q, steal_ok)) {
+      if (slot_eligible(slot, q, steal_ok, now)) {
         has_slot = true;
         break;
       }
@@ -281,18 +366,14 @@ bool Scheduler::dispatch_best_edf(sim::Cycle now) {
   if (best_queue == queues_.size()) {
     return false;
   }
-  PendingQueue& queue = queues_[best_queue];
-  auto node = queue.extract(queue.begin());
-  const Batch batch = std::move(node.value().batch);
-  --pending_total_;
-  ++pending_stats_.pops;
+  const Batch batch = pop_queue(best_queue);
   // Rebuild the winner's eligible set once for the slot choice (same
   // inputs as the scan above, so the same slots qualify).
   const bool steal_ok = config_.work_stealing && dedicated > 0 &&
                         steal_worthwhile(best_queue, batch, now);
   std::vector<Slot*> free_slots;
   for (Slot& slot : slots_) {
-    if (eligible(slot, best_queue, steal_ok)) {
+    if (slot_eligible(slot, best_queue, steal_ok, now)) {
       free_slots.push_back(&slot);
     }
   }
@@ -301,6 +382,94 @@ bool Scheduler::dispatch_best_edf(sim::Cycle now) {
       dedicated > 0 && slot->id < dedicated && slot->id != best_queue;
   dispatch(*slot, batch, now, stolen);
   return true;
+}
+
+bool Scheduler::dispatch_best_wfq(sim::Cycle now) {
+  if (pending_total_ == 0) {
+    return false;
+  }
+  const std::size_t dedicated = config_.dedicated_devices;
+  using Key = std::tuple<sim::Cycle, std::uint64_t>;
+
+  // Tenants in (virtual finish, id) order: the least-served active
+  // tenant whose work can actually go wins the dispatch; a flooding
+  // tenant only advances its own virtual time, so it cannot displace a
+  // conforming tenant's turn.
+  std::vector<std::size_t> order;
+  order.reserve(tenant_lanes_);
+  for (std::size_t lane = 0; lane < tenant_lanes_; ++lane) {
+    if (tenants_[lane].pending > 0) {
+      order.push_back(lane);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) {
+              if (tenants_[a].virtual_finish != tenants_[b].virtual_finish) {
+                return tenants_[a].virtual_finish <
+                       tenants_[b].virtual_finish;
+              }
+              return a < b;
+            });
+
+  for (const std::size_t lane : order) {
+    // Within the tenant: EDF across its shard lanes, considering only
+    // batches with an eligible slot (work-conserving, like kEdf).
+    std::size_t best_index = queues_.size();
+    std::size_t best_shard = 0;
+    Key best_key{};
+    for (std::size_t q = 0; q < shards_; ++q) {
+      const std::size_t index = lane_index(q, lane);
+      const PendingQueue& queue = queues_[index];
+      if (queue.empty()) {
+        continue;
+      }
+      const PendingBatch& head = *queue.begin();
+      const Key key{head.batch.deadline, head.seq};
+      if (best_index != queues_.size() && best_key < key) {
+        continue;
+      }
+      const bool steal_ok = config_.work_stealing && dedicated > 0 &&
+                            steal_worthwhile(q, head.batch, now);
+      bool has_slot = false;
+      for (const Slot& slot : slots_) {
+        if (slot_eligible(slot, q, steal_ok, now)) {
+          has_slot = true;
+          break;
+        }
+      }
+      if (!has_slot) {
+        continue;
+      }
+      best_index = index;
+      best_shard = q;
+      best_key = key;
+    }
+    if (best_index == queues_.size()) {
+      continue;  // this tenant's work is slot-blocked; try the next one
+    }
+    const Batch batch = pop_queue(best_index);
+    const bool steal_ok = config_.work_stealing && dedicated > 0 &&
+                          steal_worthwhile(best_shard, batch, now);
+    std::vector<Slot*> free_slots;
+    for (Slot& slot : slots_) {
+      if (slot_eligible(slot, best_shard, steal_ok, now)) {
+        free_slots.push_back(&slot);
+      }
+    }
+    Slot* slot = choose_slot_edf(free_slots, best_shard, batch.task);
+    const bool stolen =
+        dedicated > 0 && slot->id < dedicated && slot->id != best_shard;
+    // Virtual-time charge: the global clock advances to the winner's
+    // pre-charge level (the least-served active tenant defines "now"),
+    // then the tenant pays stories/weight for the slot it just took.
+    TenantQueueState& tenant = tenants_[lane];
+    global_virtual_ = std::max(global_virtual_, tenant.virtual_finish);
+    tenant.virtual_finish +=
+        static_cast<double>(batch.size()) / tenant.weight;
+    dispatch(*slot, batch, now, stolen);
+    return true;
+  }
+  return false;
 }
 
 Scheduler::Slot* Scheduler::choose_slot_edf(
@@ -378,6 +547,7 @@ void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
     InferenceResponse response;
     response.id = request.id;
     response.task = request.task;
+    response.tenant = request.tenant;
     response.device = slot.id;
     response.batch_size = batch.size();
     response.prediction = run.stories[i].prediction;

@@ -24,6 +24,16 @@
 //     it only happens when it is worth the reload: the home slot's
 //     remaining busy time exceeds the task's observed reload cost, or
 //     waiting for home would miss the batch's deadline.
+//   * kWfq — weighted fair queueing across tenants, EDF within a
+//     tenant. Every shard keeps one EDF-ordered lane per tenant; at each
+//     dispatch the least-served active tenant (smallest virtual finish
+//     time, advanced by stories/weight on every dispatch) wins the slot,
+//     and its most urgent batch with an eligible slot goes. A tenant
+//     that floods the queues only advances its own virtual time, so a
+//     misbehaving tenant cannot displace conforming tenants' slots —
+//     the dispatch-stage half of tenant isolation (admission is the
+//     other half). Slot choice, stealing and eviction are shared with
+//     kEdf.
 //   * kFifo — the legacy head-of-line dispatcher kept as the comparison
 //     baseline and escape hatch: the globally oldest pending batch waits
 //     for its home or an overflow slot, and nothing behind it may jump
@@ -33,6 +43,12 @@
 // slot holds some other task's program), the victim is chosen by the
 // configured EvictionPolicy (LRU / LFU / cost-aware) instead of the old
 // last-program-wins accident; evictions are counted per slot.
+//
+// The scheduler also exposes its cost model (`service_estimate`,
+// `backlog_cycles`, `reload_estimate`) — the same observed-cycle
+// bookkeeping that gates work-stealing — so the admission controller
+// can shed provably-doomed requests against the very estimates dispatch
+// will use.
 //
 // Host-parallel execution: with `workers > 0` the scheduler also owns a
 // WorkerPool and a ServiceCycleCache. Every submitted batch is
@@ -58,6 +74,7 @@
 #include "serve/batcher.hpp"
 #include "serve/eviction.hpp"
 #include "serve/request.hpp"
+#include "serve/tenant.hpp"
 #include "serve/worker_pool.hpp"
 #include "sim/fifo.hpp"
 #include "sim/types.hpp"
@@ -68,6 +85,7 @@ namespace mann::serve {
 enum class SchedulerPolicy : std::uint8_t {
   kFifo,  ///< legacy head-of-line: strict submit order, no stealing
   kEdf,   ///< earliest-deadline-first with optional work-stealing
+  kWfq,   ///< weighted fair queueing across tenants, EDF within a tenant
 };
 
 [[nodiscard]] const char* scheduler_policy_name(
@@ -83,10 +101,14 @@ struct SchedulerConfig {
   /// rejects beyond it).
   std::size_t queue_capacity = 1024;
   SchedulerPolicy policy = SchedulerPolicy::kEdf;
-  /// EDF only: idle slots with an empty shard queue pull the most urgent
-  /// batch from other shards' queues. The FIFO policy never steals (it
-  /// reproduces the pre-EDF dispatcher exactly).
+  /// EDF/WFQ only: idle slots with an empty shard queue pull the most
+  /// urgent batch from other shards' queues. The FIFO policy never
+  /// steals (it reproduces the pre-EDF dispatcher exactly).
   bool work_stealing = true;
+  /// kWfq only: tenant_weights[t] is tenant t's fair share (> 0); its
+  /// size fixes the per-shard tenant-lane count. Empty degrades kWfq to
+  /// a single lane (i.e. plain EDF).
+  std::vector<double> tenant_weights = {};
   /// Victim selection when a dispatch must displace a resident model.
   EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
   /// Host worker threads simulating device batches ahead of the serving
@@ -143,6 +165,11 @@ class Scheduler {
   [[nodiscard]] std::size_t pending_batches() const noexcept {
     return pending_total_;
   }
+  /// Requests inside the pending batches (the admission controller's
+  /// occupancy input, together with the batcher's pending count).
+  [[nodiscard]] std::size_t pending_stories() const noexcept {
+    return pending_stories_;
+  }
   [[nodiscard]] std::size_t in_flight() const noexcept {
     return in_flight_.size();
   }
@@ -157,6 +184,16 @@ class Scheduler {
   /// when no slot is busy at `now`. With batches pending this bounds
   /// the next dispatch opportunity (event-skipping horizon).
   [[nodiscard]] sim::Cycle next_slot_free(sim::Cycle now) const noexcept;
+
+  // ---- cost model (shared with the admission controller) ----
+
+  /// Latest observed service cycles for `task` (warm preferred, cold
+  /// fallback; 0 before any observation).
+  [[nodiscard]] sim::Cycle service_estimate(std::size_t task) const noexcept;
+  /// Total undone work at `now`: busy-slot remainders plus a service
+  /// estimate for every pending batch, in cycles (divide by the pool
+  /// size for a per-device figure).
+  [[nodiscard]] sim::Cycle backlog_cycles(sim::Cycle now) const noexcept;
 
   [[nodiscard]] std::vector<DeviceReport> device_reports() const;
 
@@ -225,15 +262,16 @@ class Scheduler {
     std::uint64_t seq = 0;
   };
 
-  /// Ordering of the shard queues: EDF sorts by (deadline, seq) so the
-  /// most urgent batch is always at begin(); FIFO sorts by seq alone
-  /// (pure submit order). seq is unique, so the order is total and the
-  /// queues behave as priority queues with O(log n) admission.
+  /// Ordering of the shard queues: EDF (and the per-tenant WFQ lanes)
+  /// sorts by (deadline, seq) so the most urgent batch is always at
+  /// begin(); FIFO sorts by seq alone (pure submit order). seq is
+  /// unique, so the order is total and the queues behave as priority
+  /// queues with O(log n) admission.
   struct PendingOrder {
     SchedulerPolicy policy = SchedulerPolicy::kEdf;
     [[nodiscard]] bool operator()(const PendingBatch& a,
                                   const PendingBatch& b) const noexcept {
-      if (policy == SchedulerPolicy::kEdf &&
+      if (policy != SchedulerPolicy::kFifo &&
           a.batch.deadline != b.batch.deadline) {
         return a.batch.deadline < b.batch.deadline;
       }
@@ -248,19 +286,44 @@ class Scheduler {
     sim::Cycle warm = 0;  ///< latest observed warm run
   };
 
+  /// kWfq bookkeeping: one entry per tenant lane.
+  struct TenantQueueState {
+    double weight = 1.0;
+    double virtual_finish = 0.0;  ///< advanced by stories/weight
+    std::size_t pending = 0;      ///< batches queued across all shards
+  };
+
   [[nodiscard]] std::size_t queue_for(std::size_t task) const noexcept;
+  /// Index into queues_ for (shard, tenant lane).
+  [[nodiscard]] std::size_t lane_index(std::size_t shard,
+                                       std::size_t lane) const noexcept {
+    return shard * tenant_lanes_ + lane;
+  }
+  /// True when every tenant lane of `shard` is empty (the foreign-slot
+  /// idleness test work-stealing keys on).
+  [[nodiscard]] bool shard_empty(std::size_t shard) const noexcept;
+  /// True when `slot` may serve shard `q`'s work at `now` (free, and
+  /// either home/overflow or an idle foreign dedicated slot worth
+  /// stealing onto).
+  [[nodiscard]] bool slot_eligible(const Slot& slot, std::size_t q,
+                                   bool steal_ok,
+                                   sim::Cycle now) const noexcept;
   /// True when taking `batch` from `home_queue` on a foreign dedicated
   /// slot beats waiting for the home slot (the reload-vs-wait trade, or
   /// an SLO about to be missed).
   [[nodiscard]] bool steal_worthwhile(std::size_t home_queue,
                                       const Batch& batch,
                                       sim::Cycle now) const noexcept;
+  /// Removes and returns the head batch of queues_[index], maintaining
+  /// the pending counters and tenant state.
+  [[nodiscard]] Batch pop_queue(std::size_t index);
   [[nodiscard]] bool dispatch_best_edf(sim::Cycle now);
+  [[nodiscard]] bool dispatch_best_wfq(sim::Cycle now);
   void step_fifo(sim::Cycle now);
   [[nodiscard]] Slot* pick_slot_fifo(std::size_t task, sim::Cycle now);
-  /// EDF slot choice for queue `queue`: home, then warm, then empty, then
-  /// the eviction policy's victim among `free_slots` (already filtered to
-  /// the queue's eligible set).
+  /// EDF/WFQ slot choice for shard `queue`: home, then warm, then empty,
+  /// then the eviction policy's victim among `free_slots` (already
+  /// filtered to the shard's eligible set).
   [[nodiscard]] Slot* choose_slot_edf(const std::vector<Slot*>& free_slots,
                                       std::size_t queue, std::size_t task);
   void dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
@@ -274,11 +337,18 @@ class Scheduler {
   SchedulerConfig config_;
   std::vector<accel::Accelerator> task_devices_;
   std::vector<Slot> slots_;
-  /// queues_[i] backs dedicated slot i's shard; with no dedicated slots
-  /// a single shared queue backs the whole pool. begin() is the shard's
-  /// next batch under the configured policy.
+  /// Shard-major, tenant-lane-minor: queues_[shard * tenant_lanes_ +
+  /// lane]. One shard per dedicated slot (a single shared shard when the
+  /// pool is undedicated); one tenant lane per WFQ weight (a single lane
+  /// under kFifo/kEdf). begin() of each queue is its most urgent batch
+  /// under the configured policy.
   std::vector<PendingQueue> queues_;
+  std::size_t shards_ = 1;
+  std::size_t tenant_lanes_ = 1;
+  std::vector<TenantQueueState> tenants_;  ///< kWfq lane bookkeeping
+  double global_virtual_ = 0.0;  ///< WFQ virtual time (min served level)
   std::size_t pending_total_ = 0;
+  std::size_t pending_stories_ = 0;
   std::size_t queue_capacity_ = 0;
   std::uint64_t next_seq_ = 0;
   sim::FifoStats pending_stats_;

@@ -12,20 +12,45 @@ namespace mann::serve {
 
 namespace {
 
-/// Frontend: pulls due arrivals out of the TrafficGenerator into the
-/// batcher. Overload is shed here (bounded batch queues), like any
-/// open-loop serving frontend.
+/// Frontend: pulls due arrivals out of the TrafficGenerator, through the
+/// admission controller, into the batcher. Every refusal — an admission
+/// decision or the batcher's full lane — lands in the controller's
+/// unified ShedReason accounting, like any open-loop serving frontend's
+/// overload shedding.
 class FrontendModule final : public sim::Module {
  public:
   FrontendModule(const sim::Simulator& clock, TrafficGenerator& generator,
-                 Batcher& batcher)
+                 AdmissionController& admission, Batcher& batcher,
+                 const Scheduler& scheduler)
       : Module("FRONTEND"), clock_(clock), generator_(generator),
-        batcher_(batcher) {}
+        admission_(admission), batcher_(batcher), scheduler_(scheduler) {}
 
   void tick() override {
-    while (std::optional<InferenceRequest> request =
-               generator_.poll(clock_.now())) {
-      (void)batcher_.enqueue(*request);
+    const sim::Cycle now = clock_.now();
+    while (std::optional<InferenceRequest> request = generator_.poll(now)) {
+      // The outlook snapshots the downstream state the controller judges
+      // against: total pending requests for occupancy, and the
+      // scheduler's own cost model for the doom test. backlog_cycles
+      // walks every pending batch, so it is only priced when a doom
+      // decision can actually consume it — the transparent/legacy paths
+      // stay O(1) per arrival.
+      AdmissionOutlook outlook;
+      outlook.pending_requests =
+          batcher_.pending() + scheduler_.pending_stories();
+      if (admission_.config().shed_doomed &&
+          request->deadline_cycle != sim::kNever) {
+        outlook.service_estimate = scheduler_.service_estimate(request->task);
+        outlook.backlog_cycles_per_device =
+            scheduler_.backlog_cycles(now) / scheduler_.config().devices;
+      }
+      if (const std::optional<ShedReason> reason =
+              admission_.decide(*request, now, outlook)) {
+        admission_.record_shed(request->tenant, *reason);
+      } else if (!batcher_.enqueue(*request)) {
+        admission_.record_shed(request->tenant, ShedReason::kQueueFull);
+      } else {
+        admission_.record_admitted(request->tenant);
+      }
       mark_busy();
     }
   }
@@ -37,7 +62,9 @@ class FrontendModule final : public sim::Module {
  private:
   const sim::Simulator& clock_;
   TrafficGenerator& generator_;
+  AdmissionController& admission_;
   Batcher& batcher_;
+  const Scheduler& scheduler_;
 };
 
 /// Moves ready batches from the batcher into the scheduler, respecting
@@ -148,16 +175,34 @@ ServingReport Server::run(std::size_t total_requests) const {
     task_devices.emplace_back(config_.accel, models_[t].program);
   }
 
+  // The tenant registry (traffic.tenants) is the single source of truth
+  // for every control-plane stage: the generator draws tenants from it,
+  // the admission controller enforces its quotas/tiers, the batcher
+  // lays out one lane per tenant, and the WFQ scheduler takes its
+  // weights from it (unless explicitly overridden).
+  const std::vector<TenantConfig>& tenants = config_.traffic.tenants;
+  const std::size_t num_tenants = std::max<std::size_t>(1, tenants.size());
+
   TrafficGenerator generator(config_.traffic, std::move(workloads),
                              total_requests);
-  Batcher batcher(config_.batcher, models_.size());
-  Scheduler scheduler(config_.scheduler, std::move(task_devices));
+  AdmissionController admission(config_.admission, tenants);
+  Batcher batcher(config_.batcher, models_.size(), num_tenants);
+  SchedulerConfig scheduler_config = config_.scheduler;
+  if (scheduler_config.policy == SchedulerPolicy::kWfq &&
+      scheduler_config.tenant_weights.empty()) {
+    scheduler_config.tenant_weights.reserve(tenants.size());
+    for (const TenantConfig& tenant : tenants) {
+      scheduler_config.tenant_weights.push_back(tenant.weight);
+    }
+  }
+  Scheduler scheduler(scheduler_config, std::move(task_devices));
   ServingMetrics metrics(config_.accel.clock_hz, config_.histogram_bins,
                          /*histogram_hi_cycles=*/50.0e6, config_.power);
   sim::Cycle last_completion = 0;
 
   sim::Simulator simulator;
-  FrontendModule frontend(simulator, generator, batcher);
+  FrontendModule frontend(simulator, generator, admission, batcher,
+                          scheduler);
   BatchModule batch_stage(simulator, generator, batcher, scheduler);
   DispatchModule dispatch(simulator, scheduler, metrics, last_completion);
   simulator.add_module(frontend);
@@ -183,11 +228,13 @@ ServingReport Server::run(std::size_t total_requests) const {
 
   RunTotals totals;
   totals.offered = generator.emitted();
-  totals.rejected =
-      static_cast<std::size_t>(batcher.counters().requests_rejected);
   totals.makespan = last_completion;
   totals.max_batch = config_.batcher.max_batch;
   totals.batching = batcher.counters();
+  totals.sheds = admission.sheds();
+  totals.tenant_sheds = admission.tenant_sheds();
+  totals.tenant_admitted = admission.tenant_admitted();
+  totals.tenants = tenants;
   totals.queue_stats = batcher.queue_stats();
   totals.queue_stats += scheduler.queue_stats();
   totals.queue_stats += scheduler.device_queue_stats();

@@ -1,5 +1,14 @@
-// The serving runtime: generator -> batcher -> scheduler -> device pool,
-// advanced by the shared sim::Simulator clock.
+// The serving runtime: generator -> admission -> batcher -> scheduler ->
+// device pool, advanced by the shared sim::Simulator clock.
+//
+// The control plane is three explicit stages with tenant identity
+// threaded end-to-end:
+//
+//   admission  (serve::AdmissionController — per-tenant quotas, tiered
+//               overload shedding, doom shedding against the scheduler's
+//               cost model; owns the unified ShedReason accounting)
+//   queueing   (serve::Batcher — per-(task, tenant) lanes)
+//   dispatch   (serve::Scheduler — FIFO / EDF / tenant-WFQ policies)
 //
 // Each stage is a sim::Module ticked in dataflow order; the loop runs on
 // Simulator::run_events, so stretches where nothing moves (waiting for
@@ -17,10 +26,12 @@
 #include "accel/compiler.hpp"
 #include "data/types.hpp"
 #include "power/power_model.hpp"
+#include "serve/admission.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/tenant.hpp"
 #include "sim/types.hpp"
 
 namespace mann::serve {
@@ -34,12 +45,17 @@ struct ServedModel {
 
 struct ServerConfig {
   accel::AccelConfig accel;  ///< per-device config (clock, FIFOs, ITH…)
-  /// Arrival process, per-task SLO deadlines (traffic.slo) and — for
-  /// trace replay — the recorded schedule.
+  /// Arrival process, per-task SLO deadlines (traffic.slo), the tenant
+  /// registry (traffic.tenants — shared by every control-plane stage)
+  /// and — for trace replay — the recorded schedule.
   TrafficConfig traffic;
+  /// Admission policy knobs (quota enforcement, doom/overload shedding).
+  /// The default is transparent: nothing is shed except full queues.
+  AdmissionConfig admission;
   BatcherConfig batcher;
-  /// Dispatch policy (EDF/FIFO), work-stealing, eviction policy and the
-  /// host-parallel execution knobs.
+  /// Dispatch policy (EDF/FIFO/WFQ), work-stealing, eviction policy and
+  /// the host-parallel execution knobs. Under kWfq, empty tenant_weights
+  /// are filled from the tenant registry.
   SchedulerConfig scheduler;
   /// Board power model folded into the report's serving-energy figures.
   power::FpgaPowerConfig power;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace mann::serve {
@@ -60,28 +61,45 @@ std::vector<TraceEntry> load_trace_csv(const std::string& path) {
     if (line.empty() || line.front() == '#') {
       continue;
     }
-    // A single header row is tolerated anywhere digits are expected to
-    // start; anything else non-numeric is a hard error.
-    if (line == "arrival_cycle,task_id") {
+    // Either versioned header row is tolerated anywhere digits are
+    // expected to start; anything else non-numeric is a hard error.
+    if (line == "arrival_cycle,task_id" ||
+        line == "arrival_cycle,task_id,tenant_id") {
       continue;
     }
+    const auto fail = [&](const std::string& what) {
+      throw std::runtime_error("load_trace_csv: " + path + ":" +
+                               std::to_string(line_number) + ": " + what +
+                               ", got '" + line + "'");
+    };
     const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      fail("expected 'arrival_cycle,task_id[,tenant_id]'");
+    }
+    // v1 rows have two fields; v2 rows carry a third tenant_id field.
+    const std::size_t second_comma = line.find(',', comma + 1);
+    const std::size_t task_end =
+        second_comma == std::string::npos ? line.size() : second_comma;
     std::uint64_t cycle = 0;
     std::uint64_t task = 0;
-    if (comma == std::string::npos ||
-        !parse_u64(line, 0, comma, cycle) ||
-        !parse_u64(line, comma + 1, line.size(), task)) {
-      throw std::runtime_error("load_trace_csv: " + path + ":" +
-                               std::to_string(line_number) +
-                               ": expected 'arrival_cycle,task_id', got '" +
-                               line + "'");
+    std::uint64_t tenant = 0;
+    if (!parse_u64(line, 0, comma, cycle) ||
+        !parse_u64(line, comma + 1, task_end, task)) {
+      fail("expected 'arrival_cycle,task_id[,tenant_id]'");
+    }
+    if (second_comma != std::string::npos) {
+      if (!parse_u64(line, second_comma + 1, line.size(), tenant) ||
+          tenant > std::numeric_limits<TenantId>::max()) {
+        fail("expected a tenant_id in the third column");
+      }
     }
     if (!entries.empty() && cycle < entries.back().arrival_cycle) {
       throw std::runtime_error("load_trace_csv: " + path + ":" +
                                std::to_string(line_number) +
                                ": arrival cycles must be non-decreasing");
     }
-    entries.push_back({cycle, static_cast<std::size_t>(task)});
+    entries.push_back({cycle, static_cast<std::size_t>(task),
+                       static_cast<TenantId>(tenant)});
   }
   return entries;
 }
@@ -92,9 +110,9 @@ void save_trace_csv(const std::string& path,
   if (!out) {
     throw std::runtime_error("save_trace_csv: cannot write " + path);
   }
-  out << "arrival_cycle,task_id\n";
+  out << "arrival_cycle,task_id,tenant_id\n";
   for (const TraceEntry& e : entries) {
-    out << e.arrival_cycle << ',' << e.task << '\n';
+    out << e.arrival_cycle << ',' << e.task << ',' << e.tenant << '\n';
   }
   if (!out) {
     throw std::runtime_error("save_trace_csv: write failed on " + path);

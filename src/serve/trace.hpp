@@ -1,39 +1,49 @@
 // Trace-driven traffic: recorded arrival schedules for exact replay.
 //
 // A trace is the serving workload stripped to what matters for queueing:
-// when each request arrived and which task it asked for. The CSV form
-// (`arrival_cycle,task_id`, one row per request, optional header) is the
-// interchange format between the trace generator tool, recorded sample
-// traces checked into bench/traces/, and the TrafficGenerator's replay
-// mode — so a production-shaped arrival pattern can be captured once and
-// re-served deterministically under any scheduler/pool configuration.
+// when each request arrived, which task it asked for, and (since the
+// multi-tenant control plane) which tenant it belonged to. The CSV form
+// is the interchange format between the trace generator tool, recorded
+// sample traces checked into bench/traces/, and the TrafficGenerator's
+// replay mode — so a production-shaped arrival pattern can be captured
+// once and re-served deterministically under any scheduler/pool/tenant
+// configuration.
+//
+// The format is versioned by its header row:
+//   v1: `arrival_cycle,task_id`            (tenant defaults to 0)
+//   v2: `arrival_cycle,task_id,tenant_id`
+// The loader accepts both (per row, so headerless v1 traces keep
+// loading); the writer always emits v2.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "serve/tenant.hpp"
 #include "sim/types.hpp"
 
 namespace mann::serve {
 
-/// One recorded arrival: the serving-clock cycle it hit the frontend and
-/// the served task it addressed (index into the model registry).
+/// One recorded arrival: the serving-clock cycle it hit the frontend,
+/// the served task it addressed (index into the model registry), and
+/// the tenant it belonged to (0 when recorded without tenants).
 struct TraceEntry {
   sim::Cycle arrival_cycle = 0;
   std::size_t task = 0;
+  TenantId tenant = 0;
 
   [[nodiscard]] bool operator==(const TraceEntry&) const noexcept = default;
 };
 
-/// Parses a `arrival_cycle,task_id` CSV (optional header row, blank lines
-/// and `#` comments ignored). Throws std::runtime_error on unreadable
-/// files, malformed rows, or arrival cycles that go backwards — a trace
-/// is an arrival schedule, so time must be non-decreasing.
-[[nodiscard]] std::vector<TraceEntry> load_trace_csv(
-    const std::string& path);
+/// Parses a trace CSV (either versioned header row, blank lines and `#`
+/// comments ignored; rows may be 2-column v1 or 3-column v2). Throws
+/// std::runtime_error on unreadable files, malformed rows, or arrival
+/// cycles that go backwards — a trace is an arrival schedule, so time
+/// must be non-decreasing.
+[[nodiscard]] std::vector<TraceEntry> load_trace_csv(const std::string& path);
 
-/// Writes `entries` as the canonical CSV (with header). Throws
+/// Writes `entries` as the canonical v2 CSV (with header). Throws
 /// std::runtime_error when the file cannot be written.
 void save_trace_csv(const std::string& path,
                     const std::vector<TraceEntry>& entries);

@@ -166,5 +166,65 @@ TEST(Batcher, DeadlineTracksOldestAcrossTasks) {
   EXPECT_EQ(batcher.next_deadline(), 120U);  // task 0's head is oldest
 }
 
+InferenceRequest tenant_request(RequestId id, std::size_t task,
+                                TenantId tenant,
+                                const data::EncodedStory& story,
+                                sim::Cycle enqueue) {
+  InferenceRequest request = make_request(id, task, story, enqueue);
+  request.tenant = tenant;
+  return request;
+}
+
+TEST(Batcher, TenantsBatchInSeparateLanes) {
+  // Same task, different tenants: each flushes as its own batch (tenant
+  // isolation starts at queueing), stamped with its tenant id.
+  const auto stories = tiny_stories(4);
+  Batcher batcher(small_config(), 1, /*num_tenants=*/2);
+  ASSERT_TRUE(batcher.enqueue(tenant_request(0, 0, 0, stories[0], 10)));
+  ASSERT_TRUE(batcher.enqueue(tenant_request(1, 0, 1, stories[1], 10)));
+  ASSERT_TRUE(batcher.enqueue(tenant_request(2, 0, 0, stories[2], 10)));
+
+  EXPECT_EQ(batcher.pending(), 3U);
+  const auto first = batcher.drain(10);
+  const auto second = batcher.drain(10);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->task, 0U);
+  EXPECT_EQ(second->task, 0U);
+  EXPECT_EQ(first->tenant, 0U);
+  EXPECT_EQ(second->tenant, 1U);
+  EXPECT_EQ(first->size(), 2U);
+  EXPECT_EQ(second->size(), 1U);
+  for (const InferenceRequest& r : first->requests) {
+    EXPECT_EQ(r.tenant, 0U);
+  }
+}
+
+TEST(Batcher, TenantLaneFullFlushesIndependently) {
+  // One tenant's full lane flushes while the other tenant keeps waiting
+  // for its own timeout — no cross-tenant coupling.
+  const auto stories = tiny_stories(8);
+  Batcher batcher(small_config(), 1, /*num_tenants=*/2);  // max_batch 4
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.enqueue(tenant_request(i, 0, 1, stories[i], 10)));
+  }
+  ASSERT_TRUE(batcher.enqueue(tenant_request(9, 0, 0, stories[4], 10)));
+
+  const auto batch = batcher.poll(10);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->tenant, 1U);
+  EXPECT_EQ(batch->size(), 4U);
+  EXPECT_FALSE(batcher.poll(10).has_value());  // tenant 0 still waiting
+  EXPECT_EQ(batcher.pending(), 1U);
+}
+
+TEST(Batcher, RejectsUnknownTenant) {
+  const auto stories = tiny_stories(1);
+  Batcher batcher(small_config(), 1, /*num_tenants=*/2);
+  EXPECT_THROW((void)batcher.enqueue(tenant_request(0, 0, 2, stories[0], 0)),
+               std::out_of_range);
+  EXPECT_THROW(Batcher(small_config(), 1, 0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace mann::serve

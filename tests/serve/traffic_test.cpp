@@ -163,11 +163,137 @@ TEST(SloDeadlines, NoSloMeansNoDeadline) {
   }
 }
 
+TEST(TenantTraffic, DefaultsToSingleTenant) {
+  const auto stories = tiny_stories(4);
+  TrafficConfig config;
+  config.mean_interarrival_cycles = 1'000.0;
+  const auto requests = emit_all(config, {{0, stories}}, 16);
+  for (const InferenceRequest& r : requests) {
+    EXPECT_EQ(r.tenant, 0U);
+  }
+}
+
+TEST(TenantTraffic, DrawsByTrafficShareDeterministically) {
+  const auto stories = tiny_stories(8);
+  TrafficConfig config;
+  config.mean_interarrival_cycles = 500.0;
+  config.tenants.resize(3);
+  config.tenants[0].traffic_share = 1.0;
+  config.tenants[1].traffic_share = 1.0;
+  config.tenants[2].traffic_share = 6.0;
+
+  const auto first = emit_all(config, {{0, stories}}, 2'000);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const InferenceRequest& r : first) {
+    ASSERT_LT(r.tenant, 3U);
+    ++counts[r.tenant];
+  }
+  // 6/8 of the traffic should be tenant 2's (loose bounds: the draw is
+  // random but seeded).
+  EXPECT_GT(counts[2], counts[0] * 3);
+  EXPECT_GT(counts[2], counts[1] * 3);
+  EXPECT_GT(counts[0], 100U);
+  EXPECT_GT(counts[1], 100U);
+
+  // Same seed, same sequence — tenant by tenant.
+  const auto second = emit_all(config, {{0, stories}}, 2'000);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(second[i].tenant, first[i].tenant);
+  }
+}
+
+TEST(TenantTraffic, LabelsNeverPerturbArrivalTiming) {
+  // The tenant draw uses its own RNG stream: adding a registry must not
+  // move a single arrival cycle or task pick.
+  const auto stories = tiny_stories(8);
+  TrafficConfig plain;
+  plain.process = ArrivalProcess::kBursty;
+  plain.mean_interarrival_cycles = 1'000.0;
+  const auto without = emit_all(plain, {{0, stories}, {1, stories}}, 500);
+
+  TrafficConfig tenanted = plain;
+  tenanted.tenants.resize(3);
+  tenanted.tenants[2].traffic_share = 5.0;
+  const auto with =
+      emit_all(tenanted, {{0, stories}, {1, stories}}, 500);
+
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].enqueue_cycle, without[i].enqueue_cycle);
+    EXPECT_EQ(with[i].task, without[i].task);
+  }
+}
+
+TEST(TenantTraffic, SloOverridePerTenant) {
+  const auto stories = tiny_stories(4);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kTrace;
+  config.trace = {{100, 0, 0}, {200, 0, 1}, {300, 0, 2}};
+  config.slo.default_deadline_cycles = 5'000;
+  config.tenants.resize(3);
+  config.tenants[1].slo_deadline_cycles = 1'000;     // tighter contract
+  config.tenants[2].slo_deadline_cycles = sim::kNever;  // no SLO at all
+  const auto requests = emit_all(config, {{0, stories}}, 3);
+  ASSERT_EQ(requests.size(), 3U);
+  EXPECT_EQ(requests[0].deadline_cycle, 5'100U);  // task SLO
+  EXPECT_EQ(requests[1].deadline_cycle, 1'200U);  // tenant override
+  EXPECT_EQ(requests[2].deadline_cycle, sim::kNever);
+}
+
+TEST(TenantTraffic, ValidatesSharesAndTraceTenants) {
+  const auto stories = tiny_stories(2);
+  TrafficConfig config;
+  config.tenants.resize(2);
+  config.tenants[0].traffic_share = -1.0;
+  EXPECT_THROW(TrafficGenerator(config, {{0, stories}}, 2),
+               std::invalid_argument);
+  config.tenants[0].traffic_share = 0.0;
+  config.tenants[1].traffic_share = 0.0;
+  EXPECT_THROW(TrafficGenerator(config, {{0, stories}}, 2),
+               std::invalid_argument);
+
+  // A trace naming a tenant outside the registry is as malformed as one
+  // naming an unknown task.
+  TrafficConfig trace_config;
+  trace_config.process = ArrivalProcess::kTrace;
+  trace_config.trace = {{100, 0, 1}};
+  EXPECT_THROW(TrafficGenerator(trace_config, {{0, stories}}, 1),
+               std::invalid_argument);
+  trace_config.tenants.resize(2);
+  EXPECT_NO_THROW(TrafficGenerator(trace_config, {{0, stories}}, 1));
+}
+
+TEST(TraceTraffic, ReplaysTenantsFromRecording) {
+  const auto stories = tiny_stories(4);
+  TrafficConfig config;
+  config.process = ArrivalProcess::kTrace;
+  config.trace = {{100, 0, 2}, {250, 0, 0}, {400, 0, 1}};
+  config.tenants.resize(3);
+  const auto requests = emit_all(config, {{0, stories}}, 3);
+  ASSERT_EQ(requests.size(), 3U);
+  EXPECT_EQ(requests[0].tenant, 2U);
+  EXPECT_EQ(requests[1].tenant, 0U);
+  EXPECT_EQ(requests[2].tenant, 1U);
+}
+
 TEST(TraceCsv, RoundTripsThroughDisk) {
   const std::vector<TraceEntry> entries = {{0, 3}, {120, 0}, {120, 1},
                                            {99'000, 2}};
   const std::string path =
       (std::filesystem::temp_directory_path() / "mann_trace_rt.csv").string();
+  save_trace_csv(path, entries);
+  const std::vector<TraceEntry> loaded = load_trace_csv(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded, entries);
+}
+
+TEST(TraceCsv, RoundTripsTenantsThroughDisk) {
+  const std::vector<TraceEntry> entries = {
+      {0, 3, 1}, {120, 0, 0}, {120, 1, 2}, {99'000, 2, 1}};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mann_trace_rt_v2.csv")
+          .string();
   save_trace_csv(path, entries);
   const std::vector<TraceEntry> loaded = load_trace_csv(path);
   std::filesystem::remove(path);
@@ -209,6 +335,53 @@ TEST(TraceCsv, RejectsGarbageAndBackwardsTime) {
   EXPECT_THROW((void)load_trace_csv(path), std::runtime_error);
   std::filesystem::remove(path);
   EXPECT_THROW((void)load_trace_csv(path), std::runtime_error);  // missing
+}
+
+// Every way a row can be malformed must be a loud error with the line
+// number, never a silently-skipped or misparsed arrival.
+TEST(TraceCsv, RejectsMalformedRows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mann_trace_malformed.csv")
+          .string();
+  const auto expect_throw_for = [&](const std::string& row) {
+    SCOPED_TRACE("row: '" + row + "'");
+    {
+      std::ofstream out(path);
+      out << row << "\n";
+    }
+    EXPECT_THROW((void)load_trace_csv(path), std::runtime_error);
+  };
+
+  expect_throw_for("123");          // truncated: no task column
+  expect_throw_for("123,");         // truncated: empty task column
+  expect_throw_for(",5");           // truncated: empty cycle column
+  expect_throw_for("abc,0");        // non-numeric cycle
+  expect_throw_for("1e3,0");        // non-numeric cycle (no floats)
+  expect_throw_for("-10,0");        // negative cycle
+  expect_throw_for("10,0,");        // truncated: empty tenant column
+  expect_throw_for("10,0,bad");     // non-numeric tenant
+  expect_throw_for("10,0,1,9");     // too many columns
+  expect_throw_for("99999999999999999999,0");  // u64 overflow
+  std::filesystem::remove(path);
+}
+
+// A task id a trace names but the replayer was never given is a
+// configuration error at generator construction, not a silent wrap.
+TEST(TraceTraffic, RejectsUnknownTaskIdFromLoadedTrace) {
+  const auto stories = tiny_stories(2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mann_trace_unknown.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "arrival_cycle,task_id,tenant_id\n10,0,0\n20,7,0\n";
+  }
+  TrafficConfig config;
+  config.process = ArrivalProcess::kTrace;
+  config.trace = load_trace_csv(path);
+  std::filesystem::remove(path);
+  EXPECT_THROW(TrafficGenerator(config, {{0, stories}}, 2),
+               std::invalid_argument);
 }
 
 // The tentpole determinism contract: trace-driven replay produces the

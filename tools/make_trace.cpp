@@ -2,12 +2,21 @@
 //
 // Runs the same TrafficGenerator the serving runtime uses (so the
 // recorded schedule is exactly what a live run with these knobs would
-// have seen) and writes `arrival_cycle,task_id` rows for the trace-
-// replay process to consume. The checked-in sample trace under
-// bench/traces/ was produced by this tool; regenerate it with the
-// command in its header comment.
+// have seen) and writes `arrival_cycle,task_id,tenant_id` rows (the v2
+// trace format; replaying a tenantless v1 trace still works) for the
+// trace-replay process to consume. With `--tenants N` each arrival is
+// labelled with one of N equal-share tenants, drawn from the generator's
+// dedicated tenant RNG stream — so the arrival timing is identical to a
+// tenantless recording with the same seed.
+//
+// The checked-in sample trace was produced by this tool; regenerate it
+// with:
+//
+//   mann_make_trace --out bench/traces/sample_diurnal.csv --requests 2000
+//       --tasks 20 --tenants 3 --process diurnal --mean-interarrival 2000
 //
 //   mann_make_trace --out trace.csv [--requests N] [--tasks K]
+//                   [--tenants T]
 //                   [--process poisson|bursty|diurnal]
 //                   [--mean-interarrival C] [--seed S]
 //                   [--diurnal-amplitude A] [--diurnal-period P]
@@ -19,6 +28,7 @@
 
 #include "data/types.hpp"
 #include "serve/request.hpp"
+#include "serve/tenant.hpp"
 #include "serve/trace.hpp"
 
 namespace {
@@ -29,6 +39,7 @@ struct Options {
   std::string out;
   std::size_t requests = 2'000;
   std::size_t tasks = 4;
+  std::size_t tenants = 1;
   serve::ArrivalProcess process = serve::ArrivalProcess::kDiurnal;
   double mean_interarrival = 2'000.0;
   double diurnal_amplitude = 0.6;
@@ -40,6 +51,7 @@ struct Options {
   std::fprintf(
       stderr,
       "usage: mann_make_trace --out PATH [--requests N] [--tasks K]\n"
+      "                       [--tenants T]\n"
       "                       [--process poisson|bursty|diurnal]\n"
       "                       [--mean-interarrival CYCLES] [--seed S]\n"
       "                       [--diurnal-amplitude A] [--diurnal-period P]\n");
@@ -65,6 +77,9 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--tasks") {
       opts.tasks = static_cast<std::size_t>(std::strtoull(next(), nullptr,
                                                           10));
+    } else if (arg == "--tenants") {
+      opts.tenants = static_cast<std::size_t>(std::strtoull(next(), nullptr,
+                                                            10));
     } else if (arg == "--process") {
       const std::string p = next();
       if (p == "poisson") {
@@ -88,7 +103,8 @@ Options parse_args(int argc, char** argv) {
       usage();
     }
   }
-  if (opts.out.empty() || opts.requests == 0 || opts.tasks == 0) {
+  if (opts.out.empty() || opts.requests == 0 || opts.tasks == 0 ||
+      opts.tenants == 0) {
     usage();
   }
   return opts;
@@ -100,7 +116,8 @@ int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
 
   // The generator wants a non-empty corpus per task; arrival recording
-  // only reads tasks and cycles, so a one-story dummy corpus suffices.
+  // only reads tasks, tenants and cycles, so a one-story dummy corpus
+  // suffices.
   const std::vector<data::EncodedStory> dummy(1);
   std::vector<serve::TaskWorkload> workloads;
   workloads.reserve(opts.tasks);
@@ -114,18 +131,25 @@ int main(int argc, char** argv) {
   config.diurnal_amplitude = opts.diurnal_amplitude;
   config.diurnal_period_cycles = opts.diurnal_period;
   config.seed = opts.seed;
+  if (opts.tenants > 1) {
+    // Equal traffic shares; the registry's QoS knobs (tier, weight,
+    // quota) are the replayer's business, not the recording's.
+    config.tenants.assign(opts.tenants, serve::TenantConfig{});
+  }
 
   serve::TrafficGenerator generator(config, workloads, opts.requests);
   std::vector<serve::TraceEntry> entries;
   entries.reserve(opts.requests);
   while (auto request = generator.poll(sim::kNever - 1)) {
-    entries.push_back({request->enqueue_cycle, request->task});
+    entries.push_back({request->enqueue_cycle, request->task,
+                       request->tenant});
   }
 
   serve::save_trace_csv(opts.out, entries);
-  std::printf("wrote %zu arrivals over %llu cycles (%zu tasks) to %s\n",
-              entries.size(),
-              static_cast<unsigned long long>(entries.back().arrival_cycle),
-              opts.tasks, opts.out.c_str());
+  std::printf(
+      "wrote %zu arrivals over %llu cycles (%zu tasks, %zu tenants) to %s\n",
+      entries.size(),
+      static_cast<unsigned long long>(entries.back().arrival_cycle),
+      opts.tasks, opts.tenants, opts.out.c_str());
   return 0;
 }
