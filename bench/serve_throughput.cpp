@@ -13,7 +13,7 @@
 //      work-stealing on a fully sharded pool with mixed per-task SLOs:
 //      EDF must match FIFO's accuracy bit-for-bit while meeting at least
 //      as many deadlines at equal-or-better p99)
-//   5. optional trace replay (--trace)  (recorded schedule, identical
+//   5. optional trace replay (--replay) (recorded schedule, identical
 //      simulated reports across worker counts; v2 traces carry tenants)
 //   6. sequential vs workers+cache      (wall-clock only; simulated
 //      numbers must be bit-identical)
@@ -23,6 +23,11 @@
 //      must keep conforming hit-rates >= 99%, with the simulated
 //      report — per-tenant outcomes included — invariant across worker
 //      counts)
+//   8. optional trace export (--trace)  (the acceptance workload re-run
+//      with the mann::obs recorder attached; the simulated report must
+//      be bit-identical to the untraced run — i.e. zero simulated
+//      overhead — and the Chrome trace-event JSON lands at PATH for
+//      Perfetto / scripts/trace_summary.py)
 //
 // Expected shapes: stories/s grows with the pool until arrival-bound;
 // accuracy is identical across pool sizes AND scheduler policies (same
@@ -41,7 +46,10 @@
 //   --policies-json P  write the FIFO-vs-EDF comparison artifact
 //   --scheduler S      acceptance-leg dispatch policy: edf (default)|fifo
 //   --eviction E       model-eviction policy: lru (default)|lfu|cost
-//   --trace PATH       also replay the recorded trace CSV (sweep 5)
+//   --replay PATH      also replay the recorded trace CSV (sweep 5)
+//   --trace PATH       export a Chrome trace-event JSON of the acceptance
+//                      workload (sweep 8; open in Perfetto or feed to
+//                      scripts/trace_summary.py)
 //   --parallel off     skip the workers+cache acceptance leg
 //   --wall-gate off    keep the >=3x wall speedup informational (CI perf
 //                      runs on shared machines; simulated identity still
@@ -56,6 +64,8 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/trace.hpp"
 
 namespace {
@@ -67,7 +77,8 @@ struct BenchOptions {
   std::size_t requests = 4000;
   std::string json_path;
   std::string policies_json_path;
-  std::string trace_path;
+  std::string replay_path;  ///< recorded arrival schedule (CSV, sweep 5)
+  std::string trace_path;   ///< Chrome trace-event export (JSON, sweep 8)
   serve::SchedulerPolicy policy = serve::SchedulerPolicy::kEdf;
   serve::EvictionPolicyKind eviction = serve::EvictionPolicyKind::kLru;
   bool parallel = true;
@@ -104,6 +115,8 @@ BenchOptions parse_args(int argc, char** argv) {
       opts.json_path = next();
     } else if (arg == "--policies-json") {
       opts.policies_json_path = next();
+    } else if (arg == "--replay") {
+      opts.replay_path = next();
     } else if (arg == "--trace") {
       opts.trace_path = next();
     } else if (arg == "--scheduler") {
@@ -141,8 +154,9 @@ BenchOptions parse_args(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: serve_throughput [--tasks K] [--requests N] "
                    "[--json PATH] [--policies-json PATH] [--scheduler "
-                   "fifo|edf] [--eviction lru|lfu|cost] [--trace PATH] "
-                   "[--parallel off] [--wall-gate off] [--train-fallback]\n");
+                   "fifo|edf] [--eviction lru|lfu|cost] [--replay PATH] "
+                   "[--trace PATH] [--parallel off] [--wall-gate off] "
+                   "[--train-fallback]\n");
       std::exit(2);
     }
   }
@@ -280,6 +294,16 @@ std::vector<serve::TenantConfig> qos_tenants() {
   return tenants;
 }
 
+/// Outcome of the optional sweep-8 trace export (--trace PATH).
+struct TraceExport {
+  bool ran = false;        ///< the leg executed (path given)
+  bool identical = true;   ///< traced simulated report == untraced one
+  bool wrote = true;       ///< the JSON landed on disk
+  std::size_t events = 0;  ///< recorded trace events (0 when MANN_OBS=OFF)
+  double wall_seconds = 0.0;
+  double overhead = 1.0;   ///< traced wall / untraced wall (informational)
+};
+
 /// Worst conforming (non-adversarial, tiers 0-1) deadline hit-rate.
 double conforming_hit_rate(const serve::ServingReport& report) {
   double worst = 1.0;
@@ -371,7 +395,7 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
                 const serve::ServingReport& parallel, double speedup,
                 bool identical, const serve::ServingReport& qos_edf,
                 const serve::ServingReport& qos_wfq,
-                bool qos_worker_identical) {
+                bool qos_worker_identical, const TraceExport& trace) {
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
@@ -448,7 +472,8 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"host\": {\n");
   std::fprintf(f, "    \"sequential_wall_seconds\": %.6f%s\n",
-               sequential.host_wall_seconds, opts.parallel ? "," : "");
+               sequential.host_wall_seconds,
+               opts.parallel || trace.ran ? "," : "");
   if (opts.parallel) {
     // Only claim parallel-leg facts when the leg actually ran.
     std::fprintf(f, "    \"parallel_wall_seconds\": %.6f,\n",
@@ -470,6 +495,17 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
                      parallel.cycle_cache.evictions));
     std::fprintf(f, "      \"hit_rate\": %.6f\n",
                  parallel.cycle_cache.hit_rate());
+    std::fprintf(f, "    }%s\n", trace.ran ? "," : "");
+  }
+  if (trace.ran) {
+    // Informational, machine-dependent: the wall cost of recording the
+    // mann::obs trace (simulated identity is gated in the bench itself).
+    std::fprintf(f, "    \"trace\": {\n");
+    std::fprintf(f, "      \"events\": %zu,\n", trace.events);
+    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", trace.wall_seconds);
+    std::fprintf(f, "      \"overhead\": %.3f,\n", trace.overhead);
+    std::fprintf(f, "      \"identical\": %s\n",
+                 trace.identical ? "true" : "false");
     std::fprintf(f, "    }\n");
   }
   std::fprintf(f, "  }\n");
@@ -612,14 +648,14 @@ int main(int argc, char** argv) {
   // Optional trace replay: the recorded schedule served end-to-end, with
   // the simulated report invariant across worker counts.
   bool trace_ok = true;
-  if (!opts.trace_path.empty()) {
+  if (!opts.replay_path.empty()) {
     bench::print_header(
         "Serving sweep 5: trace replay (recorded arrival schedule)");
     print_serving_header();
     runtime::ServingOptions trace_load = base;
     trace_load.process = serve::ArrivalProcess::kTrace;
     try {
-      trace_load.trace = serve::load_trace_csv(opts.trace_path);
+      trace_load.trace = serve::load_trace_csv(opts.replay_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -808,10 +844,68 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(conforming_sheds),
               qos_ok ? "PASS" : "FAIL");
 
+  // Optional trace export: the acceptance workload once more with the
+  // mann::obs recorder + metrics registry attached. Tracing must be
+  // invisible to the simulation — the simulated report is required to be
+  // bit-identical to the untraced run — and the wall-clock overhead is
+  // reported (informational: recording is contention-free per-worker
+  // buffering, so it should stay well under 5%).
+  TraceExport trace_export;
+  if (!opts.trace_path.empty()) {
+    bench::print_header(
+        "Serving sweep 8: obs trace export (acceptance workload, "
+        "lifecycle spans + metrics -> Chrome trace-event JSON)");
+    print_serving_header();
+    obs::MetricsRegistry registry;
+    obs::TraceRecorder recorder;
+    runtime::ServingOptions traced = accept;
+    traced.workers = opts.parallel ? 4 : 0;
+    traced.metrics = &registry;
+    traced.trace_recorder = &recorder;
+    const runtime::ServingMeasurement traced_run =
+        runtime::measure_serving(tasks, traced);
+    print_serving_row(traced_run);
+
+    const serve::ServingReport& untraced =
+        opts.parallel ? parallel.report : sequential.report;
+    trace_export.ran = true;
+    trace_export.identical =
+        simulated_reports_identical(untraced, traced_run.report);
+    trace_export.events = recorder.event_count();
+    trace_export.wall_seconds = traced_run.report.host_wall_seconds;
+    trace_export.overhead =
+        untraced.host_wall_seconds > 0.0
+            ? traced_run.report.host_wall_seconds /
+                  untraced.host_wall_seconds
+            : 1.0;
+    trace_export.wrote = obs::write_chrome_trace(
+        opts.trace_path, recorder, base.clock_hz, &registry);
+    if (trace_export.wrote) {
+      std::printf("# wrote %s\n", opts.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", opts.trace_path.c_str());
+    }
+    if (obs::kEnabled) {
+      std::printf(
+          "\ntrace export: %zu events; wall %.3f s vs %.3f s untraced "
+          "(%.2fx, informational); simulated reports %s\n",
+          trace_export.events, trace_export.wall_seconds,
+          untraced.host_wall_seconds, trace_export.overhead,
+          trace_export.identical ? "identical" : "DIVERGED");
+    } else {
+      std::printf("\ntrace export: mann::obs compiled out (MANN_OBS=OFF) "
+                  "— wrote an empty, still-valid trace\n");
+    }
+    std::printf("trace export check (identical simulation, file "
+                "written): %s\n",
+                trace_export.identical && trace_export.wrote ? "PASS"
+                                                             : "FAIL");
+  }
+
   if (!opts.json_path.empty()) {
     write_json(opts, suite_source, accept, sequential.report,
                parallel.report, wall_speedup, identical, qos_edf.report,
-               qos_wfq.report, qos_worker_identical);
+               qos_wfq.report, qos_worker_identical, trace_export);
   }
 
   std::printf(
@@ -823,7 +917,12 @@ int main(int argc, char** argv) {
       "deadlines than FIFO at equal accuracy (sweep 4); trace replay\nis "
       "worker-count invariant (sweep 5); workers + cache move only the "
       "wall column (sweep 6);\nadmission + WFQ shield conforming "
-      "tenants from an adversarial flood (sweep 7).\n");
-  return scaling_ok && policy_ok && trace_ok && parallel_ok && qos_ok ? 0
-                                                                     : 1;
+      "tenants from an adversarial flood (sweep 7); tracing\nchanges no "
+      "simulated outcome and costs <5%% wall (sweep 8, with --trace).\n");
+  const bool trace_export_ok =
+      trace_export.identical && trace_export.wrote;
+  return scaling_ok && policy_ok && trace_ok && parallel_ok && qos_ok &&
+                 trace_export_ok
+             ? 0
+             : 1;
 }

@@ -143,9 +143,23 @@ def main():
     if host:
         print(f"host wall: sequential {host.get('sequential_wall_seconds', 0):.3f}s, "
               f"parallel {host.get('parallel_wall_seconds', 0):.3f}s "
-              f"({host.get('wall_speedup', 0):.2f}x), cache hit rate "
-              f"{host.get('cache', {}).get('hit_rate', 0):.1%} "
+              f"(wall_speedup {host.get('wall_speedup', 0):.2f}x) "
               f"[informational]")
+        cache = host.get("cache", {})
+        if cache:
+            print(f"cycle cache: hit rate {cache.get('hit_rate', 0):.1%} "
+                  f"({cache.get('hits', 0)} hits / "
+                  f"{cache.get('waits', 0)} waits / "
+                  f"{cache.get('misses', 0)} misses) [informational]")
+    # The obs trace-export leg (--trace): wall overhead is machine noise,
+    # but simulated identity under tracing is deterministic and gates.
+    trace = host.get("trace")
+    if trace:
+        print(f"obs trace: {trace.get('events', 0)} events, recording "
+              f"overhead {trace.get('overhead', 1.0):.2f}x wall "
+              f"[informational]")
+        if trace.get("identical") is False:
+            failures.append("traced run diverged from the untraced run")
 
     if failures:
         for failure in failures:

@@ -23,7 +23,7 @@ cmake --build "${build_dir}" -j "$(nproc)" --target serve_throughput
 # only the artifact destinations swapped.
 "${build_dir}/bench/serve_throughput" \
   --tasks 20 --requests 4000 --wall-gate off \
-  --trace bench/traces/sample_diurnal.csv \
+  --replay bench/traces/sample_diurnal.csv \
   --json bench/BENCH_serve_baseline.json \
   --policies-json /dev/null
 

@@ -129,10 +129,14 @@ sim::FifoStats RunResult::queue_stats() const noexcept {
 RunResult Accelerator::run(std::span<const data::EncodedStory> stories,
                            const RunOptions& options) const {
   ServiceCycleCache::Key key;
+  if (options.cache_outcome != nullptr) {
+    *options.cache_outcome = CacheOutcome::kNone;
+  }
   if (options.cycle_cache != nullptr) {
     key = {fingerprint_, digest_stories(stories), stories.size(),
            options.model_resident};
-    if (std::optional<RunResult> hit = options.cycle_cache->acquire(key)) {
+    if (std::optional<RunResult> hit =
+            options.cycle_cache->acquire(key, options.cache_outcome)) {
       // Timing replay: the memoized result is bit-identical to what
       // re-simulation would produce — the key covers every input the
       // simulation depends on — so the whole run collapses to this copy.

@@ -53,6 +53,32 @@ struct RunResult {
 
 class ServiceCycleCache;
 
+/// How a run() resolved against the service-cycle cache. kWait means the
+/// result was correct-and-cached but only after blocking on another
+/// thread's in-flight simulation — the latency profile of a miss, the
+/// work profile of a hit — so accounting keeps it distinct from both.
+enum class CacheOutcome : std::uint8_t {
+  kNone,  ///< no cache configured for this run
+  kHit,   ///< immediately resident
+  kWait,  ///< resolved by an in-flight simulation we blocked on
+  kMiss,  ///< this run simulated (and published)
+};
+
+[[nodiscard]] constexpr const char* cache_outcome_name(
+    CacheOutcome outcome) noexcept {
+  switch (outcome) {
+    case CacheOutcome::kNone:
+      return "none";
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kWait:
+      return "wait";
+    case CacheOutcome::kMiss:
+      return "miss";
+  }
+  return "?";
+}
+
 /// Per-run options.
 struct RunOptions {
   /// The trained model is already resident in device BRAM (a previous
@@ -68,6 +94,9 @@ struct RunOptions {
   /// cache key covers every input the simulation depends on. Non-owning;
   /// the cache may be shared across devices and host threads.
   ServiceCycleCache* cycle_cache = nullptr;
+  /// When non-null, run() reports how the lookup resolved (kNone when no
+  /// cycle_cache is set). Observability only — never affects the result.
+  CacheOutcome* cache_outcome = nullptr;
 };
 
 /// The device. Holds no mutable state between run() calls — warm-device

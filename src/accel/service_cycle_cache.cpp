@@ -35,26 +35,49 @@ std::size_t ServiceCycleCache::KeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
-ServiceCycleCache::ServiceCycleCache(std::size_t capacity)
-    : capacity_(capacity) {
+ServiceCycleCache::ServiceCycleCache(std::size_t capacity,
+                                     obs::MetricsRegistry* metrics)
+    : capacity_(capacity),
+      obs_hits_(obs::counter(metrics, "accel.cycle_cache.hits")),
+      obs_waits_(obs::counter(metrics, "accel.cycle_cache.waits")),
+      obs_misses_(obs::counter(metrics, "accel.cycle_cache.misses")),
+      obs_insertions_(obs::counter(metrics, "accel.cycle_cache.insertions")),
+      obs_evictions_(obs::counter(metrics, "accel.cycle_cache.evictions")),
+      obs_entries_(obs::gauge(metrics, "accel.cycle_cache.entries")) {
   if (capacity_ == 0) {
     throw std::invalid_argument("ServiceCycleCache: capacity must be > 0");
   }
 }
 
-std::optional<RunResult> ServiceCycleCache::acquire(const Key& key) {
+std::optional<RunResult> ServiceCycleCache::acquire(const Key& key,
+                                                    CacheOutcome* outcome) {
   std::unique_lock lock(mutex_);
   bool waited = false;
   for (;;) {
     if (const auto it = index_.find(key); it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
-      ++stats_.hits;
-      stats_.waits += waited ? 1 : 0;
+      // A lookup resolved by someone else's in-flight simulation is a
+      // wait, not a hit: it deduplicated work but paid miss-shaped
+      // latency, and exactly one of hits/waits/misses counts per lookup.
+      if (waited) {
+        ++stats_.waits;
+        obs::add(obs_waits_);
+      } else {
+        ++stats_.hits;
+        obs::add(obs_hits_);
+      }
+      if (outcome != nullptr) {
+        *outcome = waited ? CacheOutcome::kWait : CacheOutcome::kHit;
+      }
       return it->second->result;
     }
     if (!in_flight_.contains(key)) {
       in_flight_.insert(key);
       ++stats_.misses;
+      obs::add(obs_misses_);
+      if (outcome != nullptr) {
+        *outcome = CacheOutcome::kMiss;
+      }
       return std::nullopt;  // caller owns the computation
     }
     waited = true;
@@ -72,11 +95,14 @@ void ServiceCycleCache::publish(const Key& key, const RunResult& result) {
       lru_.push_front({key, result});
       index_.emplace(key, lru_.begin());
       ++stats_.insertions;
+      obs::add(obs_insertions_);
       while (lru_.size() > capacity_) {
         index_.erase(lru_.back().key);
         lru_.pop_back();
         ++stats_.evictions;
+        obs::add(obs_evictions_);
       }
+      obs::set(obs_entries_, static_cast<std::int64_t>(lru_.size()));
     }
   }
   ready_.notify_all();

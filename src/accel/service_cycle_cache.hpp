@@ -31,20 +31,26 @@
 
 #include "accel/accelerator.hpp"
 #include "data/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace mann::accel {
 
-/// Hit/miss/eviction counters, exported into the ServingReport.
+/// Hit/miss/eviction counters, exported into the ServingReport. Every
+/// lookup lands in exactly one of hits/waits/misses: a lookup that
+/// blocked on another thread's in-flight simulation is a *wait*, not a
+/// hit — it avoided duplicate work but paid miss-shaped latency, and
+/// counting it as a hit used to inflate the reported hit rate.
 struct ServiceCycleCacheStats {
-  std::uint64_t hits = 0;
+  std::uint64_t hits = 0;         ///< immediately resident
   std::uint64_t misses = 0;       ///< lookups that had to simulate
-  std::uint64_t waits = 0;        ///< hits that blocked on an in-flight run
+  std::uint64_t waits = 0;        ///< resolved by an in-flight run we blocked on
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::size_t entries = 0;        ///< resident entries at sample time
 
+  /// True hits over all lookups (hits + waits + misses).
   [[nodiscard]] double hit_rate() const noexcept {
-    const std::uint64_t lookups = hits + misses;
+    const std::uint64_t lookups = hits + waits + misses;
     return lookups == 0 ? 0.0
                         : static_cast<double>(hits) /
                               static_cast<double>(lookups);
@@ -77,14 +83,19 @@ class ServiceCycleCache {
   };
 
   /// `capacity` bounds resident entries; the least recently used entry is
-  /// evicted on overflow. Throws std::invalid_argument when 0.
-  explicit ServiceCycleCache(std::size_t capacity = 1024);
+  /// evicted on overflow. Throws std::invalid_argument when 0. When
+  /// `metrics` is set the cache mirrors its stats into
+  /// "accel.cycle_cache.*" counters (non-owning; may be null).
+  explicit ServiceCycleCache(std::size_t capacity = 1024,
+                             obs::MetricsRegistry* metrics = nullptr);
 
   /// Looks up `key`. On a hit returns a copy of the cached result. On a
   /// miss the caller becomes the key's owner and MUST later call
   /// publish() (or abandon() on failure). If another thread owns the key,
   /// blocks until it publishes or abandons, then resolves accordingly.
-  [[nodiscard]] std::optional<RunResult> acquire(const Key& key);
+  /// `outcome`, when non-null, reports which of those paths was taken.
+  [[nodiscard]] std::optional<RunResult> acquire(
+      const Key& key, CacheOutcome* outcome = nullptr);
 
   /// Inserts the owned key's result (evicting LRU beyond capacity) and
   /// wakes any acquire() blocked on it.
@@ -115,6 +126,13 @@ class ServiceCycleCache {
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   std::unordered_set<Key, KeyHash> in_flight_;
   ServiceCycleCacheStats stats_;
+  // Mirrored obs instruments (null without a registry).
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_waits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
+  obs::Counter* obs_insertions_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Gauge* obs_entries_ = nullptr;
 };
 
 }  // namespace mann::accel

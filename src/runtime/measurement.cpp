@@ -241,6 +241,8 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
   config.scheduler.workers = options.workers;
   config.scheduler.cache_capacity = options.cache_capacity;
   config.scheduler.cycle_cache = options.cycle_cache;
+  config.metrics = options.metrics;
+  config.trace = options.trace_recorder;
 
   const serve::Server server(config, std::move(models));
 

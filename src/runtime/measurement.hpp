@@ -139,6 +139,12 @@ struct ServingOptions {
   /// External cache shared across measure_serving calls (non-owning);
   /// when null and workers > 0 the scheduler owns a private one.
   accel::ServiceCycleCache* cycle_cache = nullptr;
+  /// Observability sinks threaded into the server (non-owning, both
+  /// optional; no-ops when mann::obs is compiled out). `trace_recorder`
+  /// is the lifecycle-span sink — distinct from `trace`, the replayed
+  /// arrival schedule above.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace_recorder = nullptr;
 };
 
 /// One serving row (sits beside the Table-I rows in reports).

@@ -7,9 +7,18 @@
 namespace mann::serve {
 
 AdmissionController::AdmissionController(AdmissionConfig config,
-                                         std::vector<TenantConfig> tenants)
+                                         std::vector<TenantConfig> tenants,
+                                         obs::MetricsRegistry* metrics)
     : config_(config), tenants_(std::move(tenants)) {
   num_tenants_ = tenants_.empty() ? 1 : tenants_.size();
+  obs_admitted_ = obs::counter(metrics, "serve.admission.admitted");
+  if (metrics != nullptr) {
+    for (std::size_t r = 0; r < kShedReasonCount; ++r) {
+      obs_sheds_[r] = &metrics->counter(
+          std::string("serve.admission.shed.") +
+          shed_reason_name(static_cast<ShedReason>(r)));
+    }
+  }
   for (const TenantConfig& tenant : tenants_) {
     if (tenant.quota_interarrival_cycles < 0.0) {
       throw std::invalid_argument(
@@ -110,11 +119,13 @@ void AdmissionController::record_shed(TenantId tenant, ShedReason reason) {
   (void)tenant_config(tenant);  // bounds check
   sheds_.bump(reason);
   tenant_sheds_[tenant].bump(reason);
+  obs::add(obs_sheds_[static_cast<std::size_t>(reason)]);
 }
 
 void AdmissionController::record_admitted(TenantId tenant) {
   (void)tenant_config(tenant);  // bounds check
   ++tenant_admitted_[tenant];
+  obs::add(obs_admitted_);
 }
 
 }  // namespace mann::serve

@@ -31,10 +31,12 @@
 // FIFO/EDF escape hatches bit-identical to their historical baselines.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/request.hpp"
 #include "serve/tenant.hpp"
 #include "sim/types.hpp"
@@ -79,9 +81,12 @@ struct AdmissionOutlook {
 class AdmissionController {
  public:
   /// `tenants` is the shared registry (empty = single default tenant
-  /// that is never quota-limited and sits in tier 0).
+  /// that is never quota-limited and sits in tier 0). `metrics`, when
+  /// set, receives "serve.admission.*" counters (non-owning; may be
+  /// null).
   AdmissionController(AdmissionConfig config,
-                      std::vector<TenantConfig> tenants);
+                      std::vector<TenantConfig> tenants,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] const AdmissionConfig& config() const noexcept {
     return config_;
@@ -131,6 +136,10 @@ class AdmissionController {
   ShedCounters sheds_;
   std::vector<ShedCounters> tenant_sheds_;
   std::vector<std::uint64_t> tenant_admitted_;
+  // Mirrored obs instruments (null without a registry); shed counters
+  // indexed by ShedReason.
+  obs::Counter* obs_admitted_ = nullptr;
+  std::array<obs::Counter*, kShedReasonCount> obs_sheds_{};
 };
 
 }  // namespace mann::serve

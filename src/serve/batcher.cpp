@@ -7,8 +7,14 @@
 namespace mann::serve {
 
 Batcher::Batcher(BatcherConfig config, std::size_t num_tasks,
-                 std::size_t num_tenants)
-    : config_(config), num_tenants_(num_tenants) {
+                 std::size_t num_tenants, obs::MetricsRegistry* metrics)
+    : config_(config),
+      num_tenants_(num_tenants),
+      obs_requests_in_(obs::counter(metrics, "serve.batcher.requests_in")),
+      obs_requests_rejected_(
+          obs::counter(metrics, "serve.batcher.requests_rejected")),
+      obs_batches_out_(obs::counter(metrics, "serve.batcher.batches_out")),
+      obs_batch_size_(obs::histogram(metrics, "serve.batcher.batch_size")) {
   if (num_tasks == 0) {
     throw std::invalid_argument("Batcher: need at least one task");
   }
@@ -43,9 +49,11 @@ bool Batcher::enqueue(const InferenceRequest& request) {
   const std::size_t lane = request.task * num_tenants_ + request.tenant;
   if (!queues_[lane].try_push(request)) {
     ++counters_.requests_rejected;
+    obs::add(obs_requests_rejected_);
     return false;
   }
   ++counters_.requests_in;
+  obs::add(obs_requests_in_);
   return true;
 }
 
@@ -129,6 +137,8 @@ Batch Batcher::flush_lane(std::size_t lane) {
   }
   ++counters_.batches_out;
   counters_.stories_out += batch.size();
+  obs::add(obs_batches_out_);
+  obs::observe(obs_batch_size_, batch.size());
   return batch;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "data/types.hpp"
+#include "obs/metrics.hpp"
 #include "serve/request.hpp"
 #include "sim/fifo.hpp"
 #include "sim/types.hpp"
@@ -62,8 +63,11 @@ struct BatcherCounters {
 
 class Batcher {
  public:
+  /// `metrics`, when set, receives "serve.batcher.*" counters and the
+  /// batch-size histogram (non-owning; may be null).
   Batcher(BatcherConfig config, std::size_t num_tasks,
-          std::size_t num_tenants = 1);
+          std::size_t num_tenants = 1,
+          obs::MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] const BatcherConfig& config() const noexcept {
     return config_;
@@ -107,6 +111,11 @@ class Batcher {
   std::vector<sim::Fifo<InferenceRequest>> queues_;
   std::size_t rotate_ = 0;  ///< fairness cursor over lanes
   BatcherCounters counters_;
+  // Mirrored obs instruments (null without a registry).
+  obs::Counter* obs_requests_in_ = nullptr;
+  obs::Counter* obs_requests_rejected_ = nullptr;
+  obs::Counter* obs_batches_out_ = nullptr;
+  obs::Histogram* obs_batch_size_ = nullptr;
 };
 
 }  // namespace mann::serve

@@ -24,6 +24,28 @@ template <typename KeyFn>
   return best;
 }
 
+/// Decorator counting picks into an obs counter; the wrapped policy's
+/// name and choices pass through untouched, so determinism is preserved.
+class CountingEviction final : public EvictionPolicy {
+ public:
+  CountingEviction(std::unique_ptr<EvictionPolicy> inner,
+                   obs::Counter* victims)
+      : inner_(std::move(inner)), victims_(victims) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return inner_->name();
+  }
+  [[nodiscard]] std::size_t pick_victim(
+      std::span<const EvictionCandidate> candidates) const override {
+    obs::add(victims_);
+    return inner_->pick_victim(candidates);
+  }
+
+ private:
+  std::unique_ptr<EvictionPolicy> inner_;
+  obs::Counter* victims_;
+};
+
 }  // namespace
 
 std::size_t LruEviction::pick_victim(
@@ -49,16 +71,27 @@ std::size_t CostAwareEviction::pick_victim(
 }
 
 std::unique_ptr<EvictionPolicy> make_eviction_policy(
-    EvictionPolicyKind kind) {
+    EvictionPolicyKind kind, obs::MetricsRegistry* metrics) {
+  std::unique_ptr<EvictionPolicy> policy;
   switch (kind) {
     case EvictionPolicyKind::kLru:
-      return std::make_unique<LruEviction>();
+      policy = std::make_unique<LruEviction>();
+      break;
     case EvictionPolicyKind::kLfu:
-      return std::make_unique<LfuEviction>();
+      policy = std::make_unique<LfuEviction>();
+      break;
     case EvictionPolicyKind::kCostAware:
-      return std::make_unique<CostAwareEviction>();
+      policy = std::make_unique<CostAwareEviction>();
+      break;
   }
-  throw std::invalid_argument("make_eviction_policy: unknown kind");
+  if (policy == nullptr) {
+    throw std::invalid_argument("make_eviction_policy: unknown kind");
+  }
+  if (metrics != nullptr) {
+    policy = std::make_unique<CountingEviction>(
+        std::move(policy), obs::counter(metrics, "serve.eviction.victims"));
+  }
+  return policy;
 }
 
 const char* eviction_policy_name(EvictionPolicyKind kind) noexcept {

@@ -26,6 +26,7 @@
 #include <memory>
 #include <span>
 
+#include "obs/metrics.hpp"
 #include "sim/types.hpp"
 
 namespace mann::serve {
@@ -91,8 +92,10 @@ class CostAwareEviction final : public EvictionPolicy {
       std::span<const EvictionCandidate> candidates) const override;
 };
 
+/// `metrics`, when set, wraps the policy so every pick bumps the
+/// "serve.eviction.victims" counter (non-owning; may be null).
 [[nodiscard]] std::unique_ptr<EvictionPolicy> make_eviction_policy(
-    EvictionPolicyKind kind);
+    EvictionPolicyKind kind, obs::MetricsRegistry* metrics = nullptr);
 
 [[nodiscard]] const char* eviction_policy_name(
     EvictionPolicyKind kind) noexcept;

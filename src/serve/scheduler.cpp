@@ -58,16 +58,29 @@ Scheduler::Scheduler(SchedulerConfig config,
   queues_.assign(shards_ * tenant_lanes_, PendingQueue(PendingOrder{order}));
   task_dispatches_.resize(task_devices_.size(), 0);
   task_cycles_.resize(task_devices_.size());
-  eviction_ = make_eviction_policy(config_.eviction);
+  eviction_ = make_eviction_policy(config_.eviction, config_.metrics);
   cache_ = config_.cycle_cache;
   if (cache_ == nullptr && config_.workers > 0) {
     owned_cache_ = std::make_unique<accel::ServiceCycleCache>(
-        config_.cache_capacity == 0 ? 1 : config_.cache_capacity);
+        config_.cache_capacity == 0 ? 1 : config_.cache_capacity,
+        config_.metrics);
     cache_ = owned_cache_.get();
   }
   if (config_.workers > 0) {
-    pool_ = std::make_unique<WorkerPool>(config_.workers);
+    pool_ = std::make_unique<WorkerPool>(config_.workers, config_.metrics);
   }
+  trace_ = config_.trace;
+  obs_dispatches_ = obs::counter(config_.metrics, "serve.scheduler.dispatches");
+  obs_model_uploads_ =
+      obs::counter(config_.metrics, "serve.scheduler.model_uploads");
+  obs_model_evictions_ =
+      obs::counter(config_.metrics, "serve.scheduler.model_evictions");
+  obs_stolen_batches_ =
+      obs::counter(config_.metrics, "serve.scheduler.stolen_batches");
+  obs_speculations_ =
+      obs::counter(config_.metrics, "serve.scheduler.speculations");
+  obs_queue_wait_ =
+      obs::histogram(config_.metrics, "serve.scheduler.queue_wait_cycles");
 }
 
 std::size_t Scheduler::queue_for(std::size_t task) const noexcept {
@@ -180,15 +193,34 @@ void Scheduler::speculate(const Batch& batch) {
       batch.stories);
   const accel::Accelerator& device = task_devices_[batch.task];
   accel::ServiceCycleCache* cache = cache_;
-  pool_->submit([&device, cache, stories, warm] {
+  obs::add(obs_speculations_);
+  obs::TraceRecorder* trace = trace_;
+  const auto task = static_cast<std::int64_t>(batch.task);
+  pool_->submit([&device, cache, stories, warm, trace, task] {
     accel::RunOptions options;
     options.model_resident = warm;
     options.cycle_cache = cache;
+    accel::CacheOutcome outcome = accel::CacheOutcome::kNone;
+    options.cache_outcome = &outcome;
+    const std::uint64_t start_ns = trace != nullptr ? trace->wall_ns() : 0;
     try {
       (void)device.run(*stories, options);
     } catch (...) {
       // Speculation is best-effort: a failing workload (e.g. watchdog)
       // fails again — with a proper throw — when dispatched inline.
+    }
+    if (trace != nullptr) {
+      // Host-domain span on the worker's own track: where the wall
+      // clock went, never part of the deterministic simulated slice.
+      const std::uint32_t track =
+          obs::kTrackWorkerBase +
+          static_cast<std::uint32_t>(WorkerPool::current_worker() ==
+                                             WorkerPool::kNotAWorker
+                                         ? 0
+                                         : WorkerPool::current_worker());
+      trace->complete(obs::Domain::kHost, track, "speculate", start_ns,
+                      trace->wall_ns() - start_ns,
+                      accel::cache_outcome_name(outcome), task);
     }
   });
 }
@@ -521,8 +553,37 @@ void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
   // prefetched) result; acquire() blocks if a worker is mid-simulation
   // on exactly this workload, so work is never duplicated.
   options.cycle_cache = cache_;
+  accel::CacheOutcome outcome = accel::CacheOutcome::kNone;
+  options.cache_outcome = &outcome;
   const accel::RunResult run =
       task_devices_[batch.task].run(batch.stories, options);
+
+  if (trace_ != nullptr) {
+    // Device occupancy in the simulated domain. Only deterministic
+    // attributes ride here (warm/cold is a pure function of the
+    // timeline); how the host resolved the run against the cache is
+    // worker-count-dependent, so it goes on a host-domain track and the
+    // simulated slice of the trace stays byte-identical across worker
+    // counts.
+    trace_->complete(obs::Domain::kSim,
+                     obs::kTrackDeviceBase +
+                         static_cast<std::uint32_t>(slot.id),
+                     "batch", now, run.total_cycles, warm ? "warm" : "cold",
+                     static_cast<std::int64_t>(batch.task), batch.tenant,
+                     static_cast<std::int64_t>(batch.size()));
+    if (cache_ != nullptr) {
+      trace_->instant(obs::Domain::kHost, obs::kTrackDispatch, "cache",
+                      trace_->wall_ns(), accel::cache_outcome_name(outcome),
+                      static_cast<std::int64_t>(batch.task), batch.tenant);
+    }
+  }
+  obs::add(obs_dispatches_);
+  if (!warm) {
+    obs::add(obs_model_uploads_);
+  }
+  if (stolen) {
+    obs::add(obs_stolen_batches_);
+  }
 
   if (!warm && slot.resident_task.has_value()) {
     ++slot.model_evictions;  // the upload displaced another model
@@ -559,6 +620,18 @@ void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
     // finish_cycle is relative to the batch's own run; rebased onto the
     // serving clock it gives per-story completion inside the batch.
     response.complete_cycle = now + run.stories[i].finish_cycle;
+    obs::observe(obs_queue_wait_, now - request.enqueue_cycle);
+    if (trace_ != nullptr) {
+      // Completion times are known now (the simulation already ran), so
+      // the service span closes immediately at its future end cycle —
+      // timestamps, not recording order, define the timeline.
+      trace_->end_async("pending", request.id, now);
+      trace_->begin_async("service", request.id, now,
+                          static_cast<std::int64_t>(request.task),
+                          request.tenant);
+      trace_->end_async("service", request.id, response.complete_cycle);
+      trace_->end_async("request", request.id, response.complete_cycle);
+    }
     in_flight_.push_back(response);
   }
 }

@@ -71,6 +71,8 @@
 
 #include "accel/accelerator.hpp"
 #include "accel/service_cycle_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/eviction.hpp"
 #include "serve/request.hpp"
@@ -123,6 +125,12 @@ struct SchedulerConfig {
   /// When null and `workers > 0`, the scheduler owns a private cache
   /// (workers need one as the speculation rendezvous).
   accel::ServiceCycleCache* cycle_cache = nullptr;
+  /// Observability sinks (non-owning, both optional). `metrics` receives
+  /// "serve.scheduler.*" instruments and flows into the owned cache,
+  /// eviction policy and worker pool; `trace` receives per-request
+  /// service spans, device occupancy and worker speculation spans.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Per-slot utilization report.
@@ -361,6 +369,14 @@ class Scheduler {
   std::unique_ptr<EvictionPolicy> eviction_;
   std::unique_ptr<accel::ServiceCycleCache> owned_cache_;
   accel::ServiceCycleCache* cache_ = nullptr;  ///< owned or external
+  obs::TraceRecorder* trace_ = nullptr;        ///< non-owning, may be null
+  // Mirrored obs instruments (null without a registry).
+  obs::Counter* obs_dispatches_ = nullptr;
+  obs::Counter* obs_model_uploads_ = nullptr;
+  obs::Counter* obs_model_evictions_ = nullptr;
+  obs::Counter* obs_stolen_batches_ = nullptr;
+  obs::Counter* obs_speculations_ = nullptr;
+  obs::Histogram* obs_queue_wait_ = nullptr;  ///< enqueue→dispatch cycles
   /// Declared last: its destructor joins the workers while the devices
   /// and cache they reference are still alive.
   std::unique_ptr<WorkerPool> pool_;

@@ -21,9 +21,10 @@ class FrontendModule final : public sim::Module {
  public:
   FrontendModule(const sim::Simulator& clock, TrafficGenerator& generator,
                  AdmissionController& admission, Batcher& batcher,
-                 const Scheduler& scheduler)
+                 const Scheduler& scheduler, obs::TraceRecorder* trace)
       : Module("FRONTEND"), clock_(clock), generator_(generator),
-        admission_(admission), batcher_(batcher), scheduler_(scheduler) {}
+        admission_(admission), batcher_(batcher), scheduler_(scheduler),
+        trace_(trace) {}
 
   void tick() override {
     const sim::Cycle now = clock_.now();
@@ -43,13 +44,37 @@ class FrontendModule final : public sim::Module {
         outlook.backlog_cycles_per_device =
             scheduler_.backlog_cycles(now) / scheduler_.config().devices;
       }
+      if (trace_ != nullptr) {
+        trace_->begin_async(
+            "request", request->id, now,
+            static_cast<std::int64_t>(request->task), request->tenant,
+            static_cast<std::int64_t>(request->deadline_cycle));
+      }
+      std::optional<ShedReason> shed;
       if (const std::optional<ShedReason> reason =
               admission_.decide(*request, now, outlook)) {
         admission_.record_shed(request->tenant, *reason);
+        shed = reason;
       } else if (!batcher_.enqueue(*request)) {
         admission_.record_shed(request->tenant, ShedReason::kQueueFull);
+        shed = ShedReason::kQueueFull;
       } else {
         admission_.record_admitted(request->tenant);
+      }
+      if (trace_ != nullptr) {
+        if (shed.has_value()) {
+          // A shed request's lifecycle ends at the frontend: an instant
+          // carrying the ShedReason, then the request span closes.
+          trace_->instant(obs::Domain::kSim, obs::kTrackFrontend, "shed",
+                          now, shed_reason_name(*shed),
+                          static_cast<std::int64_t>(request->task),
+                          request->tenant);
+          trace_->end_async("request", request->id, now);
+        } else {
+          trace_->begin_async("queued", request->id, now,
+                              static_cast<std::int64_t>(request->task),
+                              request->tenant);
+        }
       }
       mark_busy();
     }
@@ -65,6 +90,7 @@ class FrontendModule final : public sim::Module {
   AdmissionController& admission_;
   Batcher& batcher_;
   const Scheduler& scheduler_;
+  obs::TraceRecorder* trace_;  ///< non-owning, may be null
 };
 
 /// Moves ready batches from the batcher into the scheduler, respecting
@@ -74,9 +100,10 @@ class FrontendModule final : public sim::Module {
 class BatchModule final : public sim::Module {
  public:
   BatchModule(const sim::Simulator& clock, const TrafficGenerator& generator,
-              Batcher& batcher, Scheduler& scheduler)
+              Batcher& batcher, Scheduler& scheduler,
+              obs::TraceRecorder* trace)
       : Module("BATCHER"), clock_(clock), generator_(generator),
-        batcher_(batcher), scheduler_(scheduler) {}
+        batcher_(batcher), scheduler_(scheduler), trace_(trace) {}
 
   void tick() override {
     const sim::Cycle now = clock_.now();
@@ -87,6 +114,17 @@ class BatchModule final : public sim::Module {
       }
       if (!batch) {
         return;
+      }
+      if (trace_ != nullptr) {
+        // Batch formation closes every member's lane residence and opens
+        // its scheduler-queue wait (the scheduler closes "pending" at
+        // dispatch — it knows the dispatch cycle, this module does not).
+        for (const InferenceRequest& request : batch->requests) {
+          trace_->end_async("queued", request.id, now);
+          trace_->begin_async("pending", request.id, now,
+                              static_cast<std::int64_t>(request.task),
+                              request.tenant);
+        }
       }
       if (!scheduler_.submit(*std::move(batch))) {
         throw std::logic_error("BatchModule: submit after has_capacity");
@@ -114,6 +152,7 @@ class BatchModule final : public sim::Module {
   const TrafficGenerator& generator_;
   Batcher& batcher_;
   Scheduler& scheduler_;
+  obs::TraceRecorder* trace_;  ///< non-owning, may be null
 };
 
 /// Drives the device pool and feeds completed responses to the metrics.
@@ -185,8 +224,10 @@ ServingReport Server::run(std::size_t total_requests) const {
 
   TrafficGenerator generator(config_.traffic, std::move(workloads),
                              total_requests);
-  AdmissionController admission(config_.admission, tenants);
-  Batcher batcher(config_.batcher, models_.size(), num_tenants);
+  AdmissionController admission(config_.admission, tenants,
+                                config_.metrics);
+  Batcher batcher(config_.batcher, models_.size(), num_tenants,
+                  config_.metrics);
   SchedulerConfig scheduler_config = config_.scheduler;
   if (scheduler_config.policy == SchedulerPolicy::kWfq &&
       scheduler_config.tenant_weights.empty()) {
@@ -195,6 +236,8 @@ ServingReport Server::run(std::size_t total_requests) const {
       scheduler_config.tenant_weights.push_back(tenant.weight);
     }
   }
+  scheduler_config.metrics = config_.metrics;
+  scheduler_config.trace = config_.trace;
   Scheduler scheduler(scheduler_config, std::move(task_devices));
   ServingMetrics metrics(config_.accel.clock_hz, config_.histogram_bins,
                          /*histogram_hi_cycles=*/50.0e6, config_.power);
@@ -202,8 +245,9 @@ ServingReport Server::run(std::size_t total_requests) const {
 
   sim::Simulator simulator;
   FrontendModule frontend(simulator, generator, admission, batcher,
-                          scheduler);
-  BatchModule batch_stage(simulator, generator, batcher, scheduler);
+                          scheduler, config_.trace);
+  BatchModule batch_stage(simulator, generator, batcher, scheduler,
+                          config_.trace);
   DispatchModule dispatch(simulator, scheduler, metrics, last_completion);
   simulator.add_module(frontend);
   simulator.add_module(batch_stage);

@@ -25,6 +25,8 @@
 #include "accel/accelerator.hpp"
 #include "accel/compiler.hpp"
 #include "data/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "power/power_model.hpp"
 #include "serve/admission.hpp"
 #include "serve/batcher.hpp"
@@ -62,6 +64,13 @@ struct ServerConfig {
   /// Serving-level watchdog (independent of the per-batch accel watchdog).
   sim::Cycle watchdog_cycles = 20'000'000'000ULL;
   std::size_t histogram_bins = 64;
+  /// Observability sinks (non-owning, both optional; no-ops when the
+  /// layer is compiled out). `metrics` receives every control-plane
+  /// stage's instruments; `trace` receives per-request lifecycle spans
+  /// plus device/worker occupancy, exportable via
+  /// obs::write_chrome_trace().
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Server {

@@ -4,13 +4,22 @@
 
 namespace mann::serve {
 
-WorkerPool::WorkerPool(std::size_t workers) {
+namespace {
+// The calling thread's pool-local index, set once at worker_loop entry.
+thread_local std::size_t t_worker_index = WorkerPool::kNotAWorker;
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t workers, obs::MetricsRegistry* metrics)
+    : obs_jobs_submitted_(
+          obs::counter(metrics, "serve.worker_pool.jobs_submitted")),
+      obs_jobs_completed_(
+          obs::counter(metrics, "serve.worker_pool.jobs_completed")) {
   if (workers == 0) {
     throw std::invalid_argument("WorkerPool: need at least one worker");
   }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,6 +43,7 @@ void WorkerPool::submit(Job job) {
     queue_.push_back(std::move(job));
     ++submitted_;
   }
+  obs::add(obs_jobs_submitted_);
   work_ready_.notify_one();
 }
 
@@ -57,7 +67,10 @@ void WorkerPool::wait_idle() {
   all_done_.wait(lock, [&] { return completed_ == submitted_; });
 }
 
-void WorkerPool::worker_loop() {
+std::size_t WorkerPool::current_worker() noexcept { return t_worker_index; }
+
+void WorkerPool::worker_loop(std::size_t index) {
+  t_worker_index = index;
   for (;;) {
     Job job;
     {
@@ -84,6 +97,7 @@ void WorkerPool::worker_loop() {
       std::lock_guard lock(mutex_);
       ++completed_;
     }
+    obs::add(obs_jobs_completed_);
     all_done_.notify_all();
   }
 }

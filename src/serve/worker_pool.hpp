@@ -23,14 +23,21 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace mann::serve {
 
 class WorkerPool {
  public:
   using Job = std::function<void()>;
 
-  /// Spawns `workers` threads (at least one).
-  explicit WorkerPool(std::size_t workers);
+  /// Sentinel for current_worker() on a non-pool thread.
+  static constexpr std::size_t kNotAWorker = ~std::size_t{0};
+
+  /// Spawns `workers` threads (at least one). `metrics`, when set,
+  /// receives "serve.worker_pool.*" counters (non-owning; may be null).
+  explicit WorkerPool(std::size_t workers,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Drains outstanding jobs, then joins every worker.
   ~WorkerPool();
@@ -52,8 +59,13 @@ class WorkerPool {
   /// Blocks until every submitted job has completed.
   void wait_idle();
 
+  /// Pool-local index of the calling thread (0..size-1), or kNotAWorker
+  /// when called off-pool. Lets a job attribute its trace span to the
+  /// worker track it actually ran on.
+  [[nodiscard]] static std::size_t current_worker() noexcept;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
@@ -63,6 +75,9 @@ class WorkerPool {
   std::uint64_t completed_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> threads_;
+  // Mirrored obs instruments (null without a registry).
+  obs::Counter* obs_jobs_submitted_ = nullptr;
+  obs::Counter* obs_jobs_completed_ = nullptr;
 };
 
 }  // namespace mann::serve

@@ -88,6 +88,45 @@ TEST(ServiceCycleCache, MissThenHit) {
   EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
 }
 
+TEST(ServiceCycleCache, OutcomeParameterReportsEachLookupKind) {
+  ServiceCycleCache cache(4);
+  const ServiceCycleCache::Key key{5, 6, 7, true};
+
+  CacheOutcome outcome = CacheOutcome::kNone;
+  EXPECT_FALSE(cache.acquire(key, &outcome).has_value());
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+  cache.publish(key, fake_result(9));
+  EXPECT_TRUE(cache.acquire(key, &outcome).has_value());
+  EXPECT_EQ(outcome, CacheOutcome::kHit);
+
+  // A lookup that blocked on an in-flight computation is a wait, not a
+  // hit — and the stats put it in its own bucket.
+  const ServiceCycleCache::Key inflight{5, 6, 8, true};
+  EXPECT_FALSE(cache.acquire(inflight).has_value());
+  std::thread waiter([&] {
+    CacheOutcome waited = CacheOutcome::kNone;
+    const std::optional<RunResult> seen = cache.acquire(inflight, &waited);
+    ASSERT_TRUE(seen.has_value());
+    // The waiter may race ahead of the publish and see a plain hit; both
+    // outcomes are legal, kMiss is not.
+    EXPECT_NE(waited, CacheOutcome::kMiss);
+    EXPECT_NE(waited, CacheOutcome::kNone);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  cache.publish(inflight, fake_result(11));
+  waiter.join();
+
+  const ServiceCycleCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.waits + stats.misses, 4U);
+  EXPECT_EQ(stats.misses, 2U);
+  // Every lookup lands in exactly one bucket, so the rate denominator
+  // is the full lookup count.
+  EXPECT_DOUBLE_EQ(stats.hit_rate(),
+                   static_cast<double>(stats.hits) /
+                       static_cast<double>(stats.hits + stats.waits +
+                                           stats.misses));
+}
+
 TEST(ServiceCycleCache, ResidentFlagSeparatesEntries) {
   ServiceCycleCache cache(4);
   const ServiceCycleCache::Key cold{1, 2, 3, false};
