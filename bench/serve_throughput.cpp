@@ -660,6 +660,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
+    if (trace_load.trace.empty()) {
+      // A header-only CSV parses fine but replays nothing: without this
+      // guard it became a zero-request sweep that died dividing by the
+      // empty trace length. Refuse it with a usable message instead.
+      std::fprintf(stderr,
+                   "--replay %s: trace has no entries (header-only or "
+                   "empty file); nothing to replay\n",
+                   opts.replay_path.c_str());
+      return 2;
+    }
     // Traces may name any suite task; a truncated --tasks run can only
     // replay the tasks it loaded. v2 traces also name tenants — cover
     // the recording with a default registry (QoS knobs are the

@@ -14,13 +14,20 @@
 //   7. observability: re-serve with the mann::obs recorder + metrics
 //      registry attached and export serving_demo_trace.json — open it in
 //      Perfetto (ui.perfetto.dev) or run scripts/trace_summary.py on it
+//   8. the incremental API: drive the same stack open-loop through
+//      Server::start() / submit() / step() / poll_completions(), with a
+//      live mid-run SLO change — the programmatic face of the
+//      mann_served daemon (tools/mann_served.cpp)
 //
 // Build & run:  cmake --build build && ./build/examples/serving_demo
 #include <cstdio>
 
+#include "accel/compiler.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/measurement.hpp"
+#include "serve/options.hpp"
+#include "serve/session.hpp"
 
 int main() {
   using namespace mann;
@@ -197,5 +204,51 @@ int main() {
   } else {
     std::fprintf(stderr, "cannot write %s\n", trace_path);
   }
-  return identical && trace_identical && wrote ? 0 : 1;
+
+  // The incremental API: no generator — the caller is the arrival
+  // process. Submit a small burst, watch it resolve, tighten the SLO
+  // live, submit another burst, then drain. This is exactly what the
+  // mann_served daemon does per protocol command.
+  std::vector<serve::ServedModel> models;
+  for (const runtime::TaskArtifacts& art : tasks) {
+    models.push_back({accel::compile_model(art.model, &art.ith),
+                      art.dataset.test});
+  }
+  serve::SloConfig open_slo;
+  open_slo.default_deadline_cycles = 500'000;
+  serve::Server open_server(
+      serve::ServingOptions().slo(open_slo), std::move(models));
+  (void)open_server.start();
+  std::printf("\nincremental session:\n");
+  for (int burst = 0; burst < 2; ++burst) {
+    for (int i = 0; i < 4; ++i) {
+      serve::SubmitRequest request;
+      request.task = static_cast<std::size_t>(i % 2);
+      (void)open_server.submit(request);
+    }
+    (void)open_server.step(0);  // run the burst to quiescence
+    for (const serve::Completion& c : open_server.poll_completions()) {
+      std::printf("  id=%llu task=%zu outcome=%s latency=%.3f ms\n",
+                  static_cast<unsigned long long>(c.response.id),
+                  c.response.task, serve::request_outcome_name(c.outcome),
+                  static_cast<double>(c.response.latency_cycles()) /
+                      options.clock_hz * 1e3);
+    }
+    if (burst == 0) {
+      open_slo.default_deadline_cycles = 150'000;  // tighten live
+      open_server.session()->set_slo(open_slo);
+      std::printf("  -- SLO tightened to 1.5 ms mid-session --\n");
+    }
+  }
+  open_server.drain();
+  const serve::ServingReport open_report = open_server.finalize();
+  std::printf("  session report: offered=%zu completed=%zu over %llu "
+              "cycles\n",
+              open_report.offered, open_report.completed,
+              static_cast<unsigned long long>(open_report.makespan_cycles));
+
+  return identical && trace_identical && wrote &&
+                 open_report.completed == open_report.offered
+             ? 0
+             : 1;
 }

@@ -45,6 +45,9 @@ TraceRecorder::Buffer& TraceRecorder::local_buffer() {
 }
 
 void TraceRecorder::record(TraceEvent event) {
+  if (!enabled()) {
+    return;
+  }
   event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   event.wall_ns = wall_ns();
   local_buffer().events.push_back(event);

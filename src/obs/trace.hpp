@@ -118,6 +118,18 @@ class TraceRecorder {
   /// Host ns since construction (the kHost timestamp source).
   [[nodiscard]] std::uint64_t wall_ns() const noexcept;
 
+  /// Runtime gate: while disabled, every recording call is dropped at
+  /// the door (already-recorded events are kept). Lets a long-running
+  /// server window its tracing (mann_served's `trace on|off`) without
+  /// re-plumbing recorder pointers through a live stack. Enabled at
+  /// construction.
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
   /// All events, stable-sorted by (domain, track, ts, seq). Call after
   /// recording threads are quiescent (e.g. post Scheduler::quiesce()).
   [[nodiscard]] std::vector<TraceEvent> merged() const;
@@ -136,6 +148,7 @@ class TraceRecorder {
   /// Process-unique: a freshly constructed recorder at a recycled
   /// address must not match another thread-local buffer cache entry.
   std::uint64_t instance_id_;
+  std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> seq_{0};
   mutable std::mutex mutex_;  ///< guards buffers_ registration/merge only
   std::vector<std::unique_ptr<Buffer>> buffers_;
@@ -160,6 +173,8 @@ class TraceRecorder {
                 std::uint64_t, const char* = nullptr, std::int64_t = -1,
                 std::int64_t = -1, std::int64_t = -1) const noexcept {}
   [[nodiscard]] std::uint64_t wall_ns() const noexcept { return 0; }
+  void set_enabled(bool) const noexcept {}
+  [[nodiscard]] bool enabled() const noexcept { return false; }
   [[nodiscard]] std::vector<TraceEvent> merged() const { return {}; }
   [[nodiscard]] std::size_t event_count() const noexcept { return 0; }
 };

@@ -8,6 +8,7 @@
 #include "core/ith_eval.hpp"
 #include "model/flops.hpp"
 #include "model/serialize.hpp"
+#include "serve/options.hpp"
 
 namespace mann::runtime {
 
@@ -217,34 +218,49 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
     models.push_back(std::move(model));
   }
 
-  serve::ServerConfig config;
-  config.accel.clock_hz = options.clock_hz;
-  config.accel.ith_enabled = options.ith;
-  config.traffic.process = options.process;
-  config.traffic.mean_interarrival_cycles = options.mean_interarrival_cycles;
-  config.traffic.diurnal_amplitude = options.diurnal_amplitude;
-  config.traffic.diurnal_period_cycles = options.diurnal_period_cycles;
-  config.traffic.trace = options.trace;
-  config.traffic.slo.default_deadline_cycles =
-      options.slo_default_deadline_cycles;
-  config.traffic.slo.per_task = options.slo_per_task;
-  config.traffic.tenants = options.tenants;
-  config.admission = options.admission;
-  config.traffic.seed = options.seed;
-  config.batcher.max_batch = options.max_batch;
-  config.batcher.max_wait_cycles = options.max_wait_cycles;
-  config.scheduler.devices = options.pool_devices;
-  config.scheduler.dedicated_devices = options.dedicated_devices;
-  config.scheduler.policy = options.policy;
-  config.scheduler.work_stealing = options.work_stealing;
-  config.scheduler.eviction = options.eviction;
-  config.scheduler.workers = options.workers;
-  config.scheduler.cache_capacity = options.cache_capacity;
-  config.scheduler.cycle_cache = options.cycle_cache;
-  config.metrics = options.metrics;
-  config.trace = options.trace_recorder;
+  accel::AccelConfig accel;
+  accel.clock_hz = options.clock_hz;
+  accel.ith_enabled = options.ith;
 
-  const serve::Server server(config, std::move(models));
+  serve::TrafficConfig traffic;
+  traffic.process = options.process;
+  traffic.mean_interarrival_cycles = options.mean_interarrival_cycles;
+  traffic.diurnal_amplitude = options.diurnal_amplitude;
+  traffic.diurnal_period_cycles = options.diurnal_period_cycles;
+  traffic.trace = options.trace;
+  traffic.seed = options.seed;
+
+  serve::SloConfig slo;
+  slo.default_deadline_cycles = options.slo_default_deadline_cycles;
+  slo.per_task = options.slo_per_task;
+
+  serve::BatcherConfig batcher;
+  batcher.max_batch = options.max_batch;
+  batcher.max_wait_cycles = options.max_wait_cycles;
+
+  serve::SchedulerConfig scheduler;
+  scheduler.devices = options.pool_devices;
+  scheduler.dedicated_devices = options.dedicated_devices;
+  scheduler.work_stealing = options.work_stealing;
+  scheduler.eviction = options.eviction;
+  scheduler.workers = options.workers;
+  scheduler.cache_capacity = options.cache_capacity;
+  scheduler.cycle_cache = options.cycle_cache;
+
+  // tenants()/slo()/policy() after traffic()/scheduler(): the block
+  // setters replace their whole config, the granular ones just a slice.
+  const serve::Server server(serve::ServingOptions()
+                                 .accel(accel)
+                                 .traffic(std::move(traffic))
+                                 .admission(options.admission)
+                                 .batcher(batcher)
+                                 .scheduler(std::move(scheduler))
+                                 .tenants(options.tenants)
+                                 .slo(std::move(slo))
+                                 .policy(options.policy)
+                                 .metrics(options.metrics)
+                                 .trace_recorder(options.trace_recorder),
+                             std::move(models));
 
   ServingMeasurement measurement;
   measurement.config_name =

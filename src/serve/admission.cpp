@@ -115,6 +115,35 @@ std::optional<ShedReason> AdmissionController::decide(
   return std::nullopt;
 }
 
+void AdmissionController::set_tenant(TenantId tenant,
+                                     const TenantConfig& config) {
+  if (tenant >= tenants_.size()) {
+    throw std::out_of_range(
+        "AdmissionController: set_tenant(" + std::to_string(tenant) +
+        ") outside the " + std::to_string(tenants_.size()) +
+        "-entry registry (the registry size is fixed at construction)");
+  }
+  if (config.quota_interarrival_cycles < 0.0) {
+    throw std::invalid_argument(
+        "AdmissionController: quota_interarrival_cycles must be >= 0");
+  }
+  if (config.quota_interarrival_cycles > 0.0 && config.quota_burst < 1.0) {
+    throw std::invalid_argument(
+        "AdmissionController: a quota needs quota_burst >= 1");
+  }
+  tenants_[tenant] = config;
+  // Tiers may have moved in either direction; recompute the ceiling the
+  // tiered-overload thresholds are spaced against.
+  max_tier_ = 0;
+  for (const TenantConfig& t : tenants_) {
+    max_tier_ = std::max(max_tier_, t.tier);
+  }
+  // Keep the bucket's refill clock but bound the balance by the new
+  // burst: a tightened quota must not be pre-funded by the old one.
+  Bucket& bucket = buckets_[tenant];
+  bucket.tokens = std::min(bucket.tokens, config.quota_burst);
+}
+
 void AdmissionController::record_shed(TenantId tenant, ShedReason reason) {
   (void)tenant_config(tenant);  // bounds check
   sheds_.bump(reason);

@@ -109,6 +109,20 @@ class AdmissionController {
   /// Records a successful admission (request entered the batcher).
   void record_admitted(TenantId tenant);
 
+  /// Live reconfiguration: replaces one tenant's contract mid-run. The
+  /// token bucket keeps its refill timestamp and clamps its balance to
+  /// the new burst, so a quota tightened mid-run bites immediately
+  /// without ever minting retroactive credit. The registry size is fixed
+  /// at construction (tenants cannot be added live): out-of-range ids —
+  /// including any id when the registry is empty — throw
+  /// std::out_of_range, and invalid quota knobs throw
+  /// std::invalid_argument (the original contract is kept either way).
+  void set_tenant(TenantId tenant, const TenantConfig& config);
+
+  [[nodiscard]] const std::vector<TenantConfig>& tenants() const noexcept {
+    return tenants_;
+  }
+
   [[nodiscard]] const ShedCounters& sheds() const noexcept { return sheds_; }
   [[nodiscard]] const std::vector<ShedCounters>& tenant_sheds()
       const noexcept {

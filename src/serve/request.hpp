@@ -28,6 +28,14 @@
 #include "serve/trace.hpp"
 #include "sim/types.hpp"
 
+namespace mann::accel {
+// Opaque re-declaration (definition in accel/accelerator.hpp): how the
+// host resolved a dispatched run against the service-cycle cache. Kept
+// opaque so the serving request types don't pull in the whole device
+// layer.
+enum class CacheOutcome : std::uint8_t;
+}  // namespace mann::accel
+
 namespace mann::serve {
 
 using RequestId = std::uint64_t;
@@ -76,6 +84,10 @@ struct InferenceResponse {
   sim::Cycle dispatch_cycle = 0;  ///< batch handed to a device
   sim::Cycle complete_cycle = 0;  ///< answer visible at the host
   sim::Cycle deadline_cycle = sim::kNever;  ///< carried from the request
+  /// How the host resolved this response's dispatch against the
+  /// service-cycle cache (kNone when caching is off). Host-dependent —
+  /// never part of the deterministic simulated report.
+  accel::CacheOutcome cache_outcome{};
 
   [[nodiscard]] sim::Cycle queue_cycles() const noexcept {
     return dispatch_cycle - enqueue_cycle;
@@ -162,6 +174,22 @@ class TrafficGenerator {
 
   /// Emits the next request if its arrival time has come.
   [[nodiscard]] std::optional<InferenceRequest> poll(sim::Cycle now);
+
+  // ---- live reconfiguration (ServerSession::set_slo / set_tenant) ----
+  // Applies to requests emitted from now on; already-emitted deadlines
+  // are immutable. Arrival timing is never touched, so the schedule
+  // stays bit-reproducible across reconfigurations that don't change
+  // SLOs.
+
+  /// Replaces the per-task SLO table.
+  void set_slo(SloConfig slo) noexcept { config_.slo = std::move(slo); }
+  /// Replaces one tenant's SLO override (0 = use the task's SLO). Out of
+  /// range ids are ignored (the registry size is fixed at construction).
+  void set_tenant_slo(TenantId tenant, sim::Cycle deadline) noexcept {
+    if (tenant < config_.tenants.size()) {
+      config_.tenants[tenant].slo_deadline_cycles = deadline;
+    }
+  }
 
  private:
   void schedule_next();

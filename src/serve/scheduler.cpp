@@ -225,6 +225,48 @@ void Scheduler::speculate(const Batch& batch) {
   });
 }
 
+bool Scheduler::set_policy(SchedulerPolicy policy) {
+  if (policy == config_.policy) {
+    return true;
+  }
+  if (policy == SchedulerPolicy::kWfq && tenant_lanes_ <= 1) {
+    // The per-tenant lane layout is fixed at construction; without it
+    // WFQ has nothing to arbitrate over (and tenants_ is unsized).
+    return false;
+  }
+  // The queues' comparator is FIFO (seq) or EDF ((deadline, seq)); WFQ
+  // lanes are EDF within the tenant. Re-key every pending batch when the
+  // ordering changes; counters (pending totals, tenant lane bookkeeping)
+  // describe membership, not order, so they carry over untouched.
+  const auto order_of = [](SchedulerPolicy p) {
+    return p == SchedulerPolicy::kFifo ? SchedulerPolicy::kFifo
+                                       : SchedulerPolicy::kEdf;
+  };
+  if (order_of(policy) != order_of(config_.policy)) {
+    for (PendingQueue& queue : queues_) {
+      PendingQueue rekeyed(PendingOrder{order_of(policy)});
+      while (!queue.empty()) {
+        rekeyed.insert(std::move(queue.extract(queue.begin()).value()));
+      }
+      queue = std::move(rekeyed);
+    }
+  }
+  config_.policy = policy;
+  return true;
+}
+
+void Scheduler::set_tenant_weight(TenantId tenant, double weight) {
+  if (weight <= 0.0) {
+    throw std::invalid_argument("Scheduler: WFQ tenant weights must be > 0");
+  }
+  if (tenant < tenants_.size()) {
+    tenants_[tenant].weight = weight;
+  }
+  if (tenant < config_.tenant_weights.size()) {
+    config_.tenant_weights[tenant] = weight;
+  }
+}
+
 void Scheduler::step(sim::Cycle now) {
   switch (config_.policy) {
     case SchedulerPolicy::kFifo:
@@ -363,28 +405,33 @@ bool Scheduler::dispatch_best_edf(sim::Cycle now) {
   // Urgency key: deadline first (kNever sorts last, so SLO-free batches
   // degrade to submit order), admission sequence as the deterministic
   // tie-break. Each shard queue keeps that order, so its begin() is the
-  // shard's most urgent batch. (Under kEdf there is exactly one tenant
-  // lane, so queue index == shard index.)
+  // shard's most urgent batch. (Under a kEdf-constructed scheduler there
+  // is exactly one tenant lane, so queue index == shard index; after a
+  // live switch from kWfq the lanes persist and the shard is recovered
+  // by dividing the lane count out — EDF then simply ignores tenant
+  // identity, scanning every lane of every shard.)
   using Key = std::tuple<sim::Cycle, std::uint64_t>;
   const std::size_t dedicated = config_.dedicated_devices;
 
   std::size_t best_queue = queues_.size();
+  std::size_t best_shard = 0;
   Key best_key{};
   for (std::size_t q = 0; q < queues_.size(); ++q) {
     const PendingQueue& queue = queues_[q];
     if (queue.empty()) {
       continue;
     }
+    const std::size_t shard = q / tenant_lanes_;
     const PendingBatch& head = *queue.begin();
     const Key key{head.batch.deadline, head.seq};
     if (best_queue != queues_.size() && best_key < key) {
       continue;  // a more urgent shard already has a slot lined up
     }
     const bool steal_ok = config_.work_stealing && dedicated > 0 &&
-                          steal_worthwhile(q, head.batch, now);
+                          steal_worthwhile(shard, head.batch, now);
     bool has_slot = false;
     for (const Slot& slot : slots_) {
-      if (slot_eligible(slot, q, steal_ok, now)) {
+      if (slot_eligible(slot, shard, steal_ok, now)) {
         has_slot = true;
         break;
       }
@@ -393,6 +440,7 @@ bool Scheduler::dispatch_best_edf(sim::Cycle now) {
       continue;
     }
     best_queue = q;
+    best_shard = shard;
     best_key = key;
   }
   if (best_queue == queues_.size()) {
@@ -402,16 +450,16 @@ bool Scheduler::dispatch_best_edf(sim::Cycle now) {
   // Rebuild the winner's eligible set once for the slot choice (same
   // inputs as the scan above, so the same slots qualify).
   const bool steal_ok = config_.work_stealing && dedicated > 0 &&
-                        steal_worthwhile(best_queue, batch, now);
+                        steal_worthwhile(best_shard, batch, now);
   std::vector<Slot*> free_slots;
   for (Slot& slot : slots_) {
-    if (slot_eligible(slot, best_queue, steal_ok, now)) {
+    if (slot_eligible(slot, best_shard, steal_ok, now)) {
       free_slots.push_back(&slot);
     }
   }
-  Slot* slot = choose_slot_edf(free_slots, best_queue, batch.task);
+  Slot* slot = choose_slot_edf(free_slots, best_shard, batch.task);
   const bool stolen =
-      dedicated > 0 && slot->id < dedicated && slot->id != best_queue;
+      dedicated > 0 && slot->id < dedicated && slot->id != best_shard;
   dispatch(*slot, batch, now, stolen);
   return true;
 }
@@ -616,6 +664,7 @@ void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
     response.early_exit = run.stories[i].early_exit;
     response.enqueue_cycle = request.enqueue_cycle;
     response.deadline_cycle = request.deadline_cycle;
+    response.cache_outcome = outcome;
     response.dispatch_cycle = now;
     // finish_cycle is relative to the batch's own run; rebased onto the
     // serving clock it gives per-story completion inside the batch.

@@ -167,6 +167,24 @@ class Scheduler {
   /// order (deterministic for a given submit history).
   void step(sim::Cycle now);
 
+  // ---- live reconfiguration (ServerSession::set_policy / set_tenant) --
+
+  /// Switches the dispatch policy mid-run without dropping pending work:
+  /// every queued batch is re-keyed under the new ordering (in-flight
+  /// work is untouched). Returns false — and changes nothing — when the
+  /// switch is impossible: kWfq needs the per-tenant lanes that only
+  /// exist when the scheduler was *constructed* with tenant weights
+  /// (lane count is part of the queue layout, which is fixed).
+  /// Switching between kFifo/kEdf, or away from and back to kWfq on a
+  /// WFQ-constructed scheduler, always succeeds.
+  [[nodiscard]] bool set_policy(SchedulerPolicy policy);
+
+  /// Updates one tenant's WFQ weight (takes effect at the next dispatch;
+  /// accumulated virtual finish time is preserved, so past service is
+  /// not re-billed). No-op when the scheduler has no tenant lanes.
+  /// Throws std::invalid_argument for weight <= 0.
+  void set_tenant_weight(TenantId tenant, double weight);
+
   /// Moves out every response whose completion time has been reached.
   [[nodiscard]] std::vector<InferenceResponse> collect(sim::Cycle now);
 

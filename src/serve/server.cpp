@@ -1,196 +1,12 @@
 #include "serve/server.hpp"
 
-#include <algorithm>
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
-#include "sim/module.hpp"
-#include "sim/simulator.hpp"
+#include "serve/options.hpp"
+#include "serve/session.hpp"
 
 namespace mann::serve {
-
-namespace {
-
-/// Frontend: pulls due arrivals out of the TrafficGenerator, through the
-/// admission controller, into the batcher. Every refusal — an admission
-/// decision or the batcher's full lane — lands in the controller's
-/// unified ShedReason accounting, like any open-loop serving frontend's
-/// overload shedding.
-class FrontendModule final : public sim::Module {
- public:
-  FrontendModule(const sim::Simulator& clock, TrafficGenerator& generator,
-                 AdmissionController& admission, Batcher& batcher,
-                 const Scheduler& scheduler, obs::TraceRecorder* trace)
-      : Module("FRONTEND"), clock_(clock), generator_(generator),
-        admission_(admission), batcher_(batcher), scheduler_(scheduler),
-        trace_(trace) {}
-
-  void tick() override {
-    const sim::Cycle now = clock_.now();
-    while (std::optional<InferenceRequest> request = generator_.poll(now)) {
-      // The outlook snapshots the downstream state the controller judges
-      // against: total pending requests for occupancy, and the
-      // scheduler's own cost model for the doom test. backlog_cycles
-      // walks every pending batch, so it is only priced when a doom
-      // decision can actually consume it — the transparent/legacy paths
-      // stay O(1) per arrival.
-      AdmissionOutlook outlook;
-      outlook.pending_requests =
-          batcher_.pending() + scheduler_.pending_stories();
-      if (admission_.config().shed_doomed &&
-          request->deadline_cycle != sim::kNever) {
-        outlook.service_estimate = scheduler_.service_estimate(request->task);
-        outlook.backlog_cycles_per_device =
-            scheduler_.backlog_cycles(now) / scheduler_.config().devices;
-      }
-      if (trace_ != nullptr) {
-        trace_->begin_async(
-            "request", request->id, now,
-            static_cast<std::int64_t>(request->task), request->tenant,
-            static_cast<std::int64_t>(request->deadline_cycle));
-      }
-      std::optional<ShedReason> shed;
-      if (const std::optional<ShedReason> reason =
-              admission_.decide(*request, now, outlook)) {
-        admission_.record_shed(request->tenant, *reason);
-        shed = reason;
-      } else if (!batcher_.enqueue(*request)) {
-        admission_.record_shed(request->tenant, ShedReason::kQueueFull);
-        shed = ShedReason::kQueueFull;
-      } else {
-        admission_.record_admitted(request->tenant);
-      }
-      if (trace_ != nullptr) {
-        if (shed.has_value()) {
-          // A shed request's lifecycle ends at the frontend: an instant
-          // carrying the ShedReason, then the request span closes.
-          trace_->instant(obs::Domain::kSim, obs::kTrackFrontend, "shed",
-                          now, shed_reason_name(*shed),
-                          static_cast<std::int64_t>(request->task),
-                          request->tenant);
-          trace_->end_async("request", request->id, now);
-        } else {
-          trace_->begin_async("queued", request->id, now,
-                              static_cast<std::int64_t>(request->task),
-                              request->tenant);
-        }
-      }
-      mark_busy();
-    }
-  }
-
-  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
-    return generator_.next_arrival();
-  }
-
- private:
-  const sim::Simulator& clock_;
-  TrafficGenerator& generator_;
-  AdmissionController& admission_;
-  Batcher& batcher_;
-  const Scheduler& scheduler_;
-  obs::TraceRecorder* trace_;  ///< non-owning, may be null
-};
-
-/// Moves ready batches from the batcher into the scheduler, respecting
-/// the scheduler's queue bound (back-pressure instead of drop). Once the
-/// traffic source is exhausted, drains sub-size leftovers immediately
-/// rather than letting them age to the timeout.
-class BatchModule final : public sim::Module {
- public:
-  BatchModule(const sim::Simulator& clock, const TrafficGenerator& generator,
-              Batcher& batcher, Scheduler& scheduler,
-              obs::TraceRecorder* trace)
-      : Module("BATCHER"), clock_(clock), generator_(generator),
-        batcher_(batcher), scheduler_(scheduler), trace_(trace) {}
-
-  void tick() override {
-    const sim::Cycle now = clock_.now();
-    while (scheduler_.has_capacity()) {
-      std::optional<Batch> batch = batcher_.poll(now);
-      if (!batch && generator_.exhausted()) {
-        batch = batcher_.drain(now);
-      }
-      if (!batch) {
-        return;
-      }
-      if (trace_ != nullptr) {
-        // Batch formation closes every member's lane residence and opens
-        // its scheduler-queue wait (the scheduler closes "pending" at
-        // dispatch — it knows the dispatch cycle, this module does not).
-        for (const InferenceRequest& request : batch->requests) {
-          trace_->end_async("queued", request.id, now);
-          trace_->begin_async("pending", request.id, now,
-                              static_cast<std::int64_t>(request.task),
-                              request.tenant);
-        }
-      }
-      if (!scheduler_.submit(*std::move(batch))) {
-        throw std::logic_error("BatchModule: submit after has_capacity");
-      }
-      mark_busy();
-    }
-  }
-
-  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
-    if (batcher_.pending() == 0) {
-      return sim::kNever;
-    }
-    if (generator_.exhausted() || !scheduler_.has_capacity()) {
-      // Drain mode or blocked on downstream: may act at the very next
-      // tick, so report the current clock (vetoes any skip past it).
-      return clock_.now();
-    }
-    // Waiting to fill: wake at the oldest request's timeout. A fill-up
-    // wakes us anyway via the frontend's arrival horizon.
-    return batcher_.next_deadline();
-  }
-
- private:
-  const sim::Simulator& clock_;
-  const TrafficGenerator& generator_;
-  Batcher& batcher_;
-  Scheduler& scheduler_;
-  obs::TraceRecorder* trace_;  ///< non-owning, may be null
-};
-
-/// Drives the device pool and feeds completed responses to the metrics.
-class DispatchModule final : public sim::Module {
- public:
-  DispatchModule(const sim::Simulator& clock, Scheduler& scheduler,
-                 ServingMetrics& metrics, sim::Cycle& last_completion)
-      : Module("DISPATCH"), clock_(clock), scheduler_(scheduler),
-        metrics_(metrics), last_completion_(last_completion) {}
-
-  void tick() override {
-    const sim::Cycle now = clock_.now();
-    scheduler_.step(now);
-    for (const InferenceResponse& response : scheduler_.collect(now)) {
-      metrics_.record(response);
-      last_completion_ = std::max(last_completion_, response.complete_cycle);
-      mark_busy();
-    }
-  }
-
-  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
-    if (scheduler_.pending_batches() > 0) {
-      // Next dispatch opportunity: a slot freeing (conservative — a past
-      // cycle just vetoes the skip and falls back to per-cycle ticking).
-      return std::min(scheduler_.next_slot_free(clock_.now()),
-                      scheduler_.next_completion());
-    }
-    return scheduler_.next_completion();
-  }
-
- private:
-  const sim::Simulator& clock_;
-  Scheduler& scheduler_;
-  ServingMetrics& metrics_;
-  sim::Cycle& last_completion_;
-};
-
-}  // namespace
 
 Server::Server(ServerConfig config, std::vector<ServedModel> models)
     : config_(std::move(config)), models_(std::move(models)) {
@@ -204,95 +20,62 @@ Server::Server(ServerConfig config, std::vector<ServedModel> models)
   }
 }
 
+Server::Server(const ServingOptions& options, std::vector<ServedModel> models)
+    : Server(options.build(), std::move(models)) {}
+
+Server::~Server() = default;
+Server::Server(Server&&) noexcept = default;
+Server& Server::operator=(Server&&) noexcept = default;
+
 ServingReport Server::run(std::size_t total_requests) const {
-  std::vector<TaskWorkload> workloads;
-  std::vector<accel::Accelerator> task_devices;
-  workloads.reserve(models_.size());
-  task_devices.reserve(models_.size());
-  for (std::size_t t = 0; t < models_.size(); ++t) {
-    workloads.push_back({t, models_[t].stories});
-    task_devices.emplace_back(config_.accel, models_[t].program);
+  SessionOptions options;
+  options.total_requests = total_requests;
+  // The closed-loop contract: flush leftovers the moment the generator
+  // runs dry, and skip the completion outbox nobody will poll.
+  options.auto_drain = true;
+  options.collect_completions = false;
+  ServerSession session(config_, models_, options);
+  session.drain();
+  (void)session.step(0);
+  return session.finalize();
+}
+
+ServerSession& Server::start(const SessionOptions& options) {
+  if (session_ != nullptr) {
+    throw std::logic_error(
+        "Server: a session is already active — finalize() it first");
   }
+  session_ = std::make_unique<ServerSession>(config_, models_, options);
+  return *session_;
+}
 
-  // The tenant registry (traffic.tenants) is the single source of truth
-  // for every control-plane stage: the generator draws tenants from it,
-  // the admission controller enforces its quotas/tiers, the batcher
-  // lays out one lane per tenant, and the WFQ scheduler takes its
-  // weights from it (unless explicitly overridden).
-  const std::vector<TenantConfig>& tenants = config_.traffic.tenants;
-  const std::size_t num_tenants = std::max<std::size_t>(1, tenants.size());
+ServerSession& Server::start() { return start(SessionOptions{}); }
 
-  TrafficGenerator generator(config_.traffic, std::move(workloads),
-                             total_requests);
-  AdmissionController admission(config_.admission, tenants,
-                                config_.metrics);
-  Batcher batcher(config_.batcher, models_.size(), num_tenants,
-                  config_.metrics);
-  SchedulerConfig scheduler_config = config_.scheduler;
-  if (scheduler_config.policy == SchedulerPolicy::kWfq &&
-      scheduler_config.tenant_weights.empty()) {
-    scheduler_config.tenant_weights.reserve(tenants.size());
-    for (const TenantConfig& tenant : tenants) {
-      scheduler_config.tenant_weights.push_back(tenant.weight);
-    }
+ServerSession& Server::active_session() {
+  if (session_ == nullptr) {
+    throw std::logic_error("Server: no active session — start() first");
   }
-  scheduler_config.metrics = config_.metrics;
-  scheduler_config.trace = config_.trace;
-  Scheduler scheduler(scheduler_config, std::move(task_devices));
-  ServingMetrics metrics(config_.accel.clock_hz, config_.histogram_bins,
-                         /*histogram_hi_cycles=*/50.0e6, config_.power);
-  sim::Cycle last_completion = 0;
+  return *session_;
+}
 
-  sim::Simulator simulator;
-  FrontendModule frontend(simulator, generator, admission, batcher,
-                          scheduler, config_.trace);
-  BatchModule batch_stage(simulator, generator, batcher, scheduler,
-                          config_.trace);
-  DispatchModule dispatch(simulator, scheduler, metrics, last_completion);
-  simulator.add_module(frontend);
-  simulator.add_module(batch_stage);
-  simulator.add_module(dispatch);
+RequestId Server::submit(const SubmitRequest& request) {
+  return active_session().submit(request);
+}
 
-  // Wall clock around the serving loop: the simulated metrics above are
-  // host-speed-invariant, this is the "how fast did the host grind
-  // through it" counterpart (workers and the service-cycle cache move
-  // this number, never the simulated ones).
-  const auto wall_start = std::chrono::steady_clock::now();
-  simulator.run_events(
-      [&] {
-        return generator.exhausted() && batcher.pending() == 0 &&
-               scheduler.idle();
-      },
-      config_.watchdog_cycles);
-  // Drain leftover speculative work so it is inside the wall measurement
-  // and the cache counters below are complete.
-  scheduler.quiesce();
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - wall_start;
+bool Server::step(sim::Cycle cycles) {
+  return active_session().step(cycles);
+}
 
-  RunTotals totals;
-  totals.offered = generator.emitted();
-  totals.makespan = last_completion;
-  totals.max_batch = config_.batcher.max_batch;
-  totals.batching = batcher.counters();
-  totals.sheds = admission.sheds();
-  totals.tenant_sheds = admission.tenant_sheds();
-  totals.tenant_admitted = admission.tenant_admitted();
-  totals.tenants = tenants;
-  totals.queue_stats = batcher.queue_stats();
-  totals.queue_stats += scheduler.queue_stats();
-  totals.queue_stats += scheduler.device_queue_stats();
-  totals.devices = scheduler.device_reports();
-  totals.model_uploads = scheduler.total_model_uploads();
-  totals.model_evictions = scheduler.total_model_evictions();
-  totals.stolen_batches = scheduler.total_stolen_batches();
-  totals.device_ops = scheduler.device_ops();
-  totals.link_active_cycles = scheduler.link_active_cycles();
-  totals.host_wall_seconds = wall.count();
-  totals.workers = scheduler.worker_count();
-  totals.cycle_cache_enabled = scheduler.cache_enabled();
-  totals.cycle_cache = scheduler.cache_stats();
-  return metrics.finalize(std::move(totals));
+std::vector<Completion> Server::poll_completions() {
+  return active_session().poll_completions();
+}
+
+void Server::drain() { active_session().drain(); }
+
+ServingReport Server::finalize() {
+  ServingReport report = active_session().finalize();
+  session_.reset();
+  return report;
 }
 
 }  // namespace mann::serve

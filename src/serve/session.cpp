@@ -1,0 +1,531 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/module.hpp"
+
+namespace mann::serve {
+
+namespace {
+
+/// Folds the derived defaults into one canonical config — exactly what
+/// run() historically did inline: WFQ weights default to the tenant
+/// registry's, and the obs sinks are threaded into the scheduler.
+ServerConfig resolve_config(ServerConfig config) {
+  if (config.scheduler.policy == SchedulerPolicy::kWfq &&
+      config.scheduler.tenant_weights.empty()) {
+    config.scheduler.tenant_weights.reserve(config.traffic.tenants.size());
+    for (const TenantConfig& tenant : config.traffic.tenants) {
+      config.scheduler.tenant_weights.push_back(tenant.weight);
+    }
+  }
+  config.scheduler.metrics = config.metrics;
+  config.scheduler.trace = config.trace;
+  return config;
+}
+
+std::vector<TaskWorkload> make_workloads(
+    const std::vector<ServedModel>& models) {
+  if (models.empty()) {
+    throw std::invalid_argument("ServerSession: no models to serve");
+  }
+  std::vector<TaskWorkload> workloads;
+  workloads.reserve(models.size());
+  for (std::size_t t = 0; t < models.size(); ++t) {
+    if (models[t].stories.empty()) {
+      throw std::invalid_argument("ServerSession: model with empty corpus");
+    }
+    workloads.push_back({t, models[t].stories});
+  }
+  return workloads;
+}
+
+std::vector<accel::Accelerator> make_devices(
+    const accel::AccelConfig& accel, const std::vector<ServedModel>& models) {
+  std::vector<accel::Accelerator> devices;
+  devices.reserve(models.size());
+  for (const ServedModel& model : models) {
+    devices.emplace_back(accel, model.program);
+  }
+  return devices;
+}
+
+}  // namespace
+
+/// Frontend: pulls due arrivals out of the merged source (generator +
+/// injected submissions), through the admission controller, into the
+/// batcher. Every refusal — an admission decision or the batcher's full
+/// lane — lands in the controller's unified ShedReason accounting, and
+/// (when completion collection is on) in the session outbox as a shed
+/// Completion.
+class ServerSession::Frontend final : public sim::Module {
+ public:
+  explicit Frontend(ServerSession& session)
+      : Module("FRONTEND"), s_(session) {}
+
+  void tick() override {
+    const sim::Cycle now = s_.simulator_.now();
+    while (std::optional<InferenceRequest> request = s_.poll_arrival(now)) {
+      // The outlook snapshots the downstream state the controller judges
+      // against: total pending requests for occupancy, and the
+      // scheduler's own cost model for the doom test. backlog_cycles
+      // walks every pending batch, so it is only priced when a doom
+      // decision can actually consume it — the transparent/legacy paths
+      // stay O(1) per arrival.
+      AdmissionOutlook outlook;
+      outlook.pending_requests =
+          s_.batcher_.pending() + s_.scheduler_.pending_stories();
+      if (s_.admission_.config().shed_doomed &&
+          request->deadline_cycle != sim::kNever) {
+        outlook.service_estimate =
+            s_.scheduler_.service_estimate(request->task);
+        outlook.backlog_cycles_per_device =
+            s_.scheduler_.backlog_cycles(now) /
+            s_.scheduler_.config().devices;
+      }
+      obs::TraceRecorder* trace = s_.config_.trace;
+      if (trace != nullptr) {
+        trace->begin_async(
+            "request", request->id, now,
+            static_cast<std::int64_t>(request->task), request->tenant,
+            static_cast<std::int64_t>(request->deadline_cycle));
+      }
+      std::optional<ShedReason> shed;
+      if (const std::optional<ShedReason> reason =
+              s_.admission_.decide(*request, now, outlook)) {
+        s_.admission_.record_shed(request->tenant, *reason);
+        shed = reason;
+      } else if (!s_.batcher_.enqueue(*request)) {
+        s_.admission_.record_shed(request->tenant, ShedReason::kQueueFull);
+        shed = ShedReason::kQueueFull;
+      } else {
+        s_.admission_.record_admitted(request->tenant);
+      }
+      if (trace != nullptr) {
+        if (shed.has_value()) {
+          // A shed request's lifecycle ends at the frontend: an instant
+          // carrying the ShedReason, then the request span closes.
+          trace->instant(obs::Domain::kSim, obs::kTrackFrontend, "shed",
+                         now, shed_reason_name(*shed),
+                         static_cast<std::int64_t>(request->task),
+                         request->tenant);
+          trace->end_async("request", request->id, now);
+        } else {
+          trace->begin_async("queued", request->id, now,
+                             static_cast<std::int64_t>(request->task),
+                             request->tenant);
+        }
+      }
+      if (shed.has_value() && s_.options_.collect_completions) {
+        // Sheds resolve here and now: a Completion with a partial
+        // response (identity + timing of the refusal, no answer).
+        Completion completion;
+        completion.outcome = outcome_from_shed(*shed);
+        completion.cycle = now;
+        completion.response.id = request->id;
+        completion.response.task = request->task;
+        completion.response.tenant = request->tenant;
+        completion.response.enqueue_cycle = request->enqueue_cycle;
+        completion.response.complete_cycle = now;
+        completion.response.deadline_cycle = request->deadline_cycle;
+        s_.outbox_.push_back(std::move(completion));
+      }
+      mark_busy();
+    }
+  }
+
+  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
+    return s_.next_arrival();
+  }
+
+ private:
+  ServerSession& s_;
+};
+
+/// Moves ready batches from the batcher into the scheduler, respecting
+/// the scheduler's queue bound (back-pressure instead of drop). Once the
+/// session is draining (explicitly, or auto-drain with idle sources —
+/// the closed-loop end-of-run), flushes sub-size leftovers immediately
+/// rather than letting them age to the timeout.
+class ServerSession::BatchStage final : public sim::Module {
+ public:
+  explicit BatchStage(ServerSession& session)
+      : Module("BATCHER"), s_(session) {}
+
+  void tick() override {
+    const sim::Cycle now = s_.simulator_.now();
+    while (s_.scheduler_.has_capacity()) {
+      std::optional<Batch> batch = s_.batcher_.poll(now);
+      if (!batch && s_.drain_ready()) {
+        batch = s_.batcher_.drain(now);
+      }
+      if (!batch) {
+        return;
+      }
+      obs::TraceRecorder* trace = s_.config_.trace;
+      if (trace != nullptr) {
+        // Batch formation closes every member's lane residence and opens
+        // its scheduler-queue wait (the scheduler closes "pending" at
+        // dispatch — it knows the dispatch cycle, this module does not).
+        for (const InferenceRequest& request : batch->requests) {
+          trace->end_async("queued", request.id, now);
+          trace->begin_async("pending", request.id, now,
+                             static_cast<std::int64_t>(request.task),
+                             request.tenant);
+        }
+      }
+      if (!s_.scheduler_.submit(*std::move(batch))) {
+        throw std::logic_error("BatchStage: submit after has_capacity");
+      }
+      mark_busy();
+    }
+  }
+
+  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
+    if (s_.batcher_.pending() == 0) {
+      return sim::kNever;
+    }
+    if (s_.drain_ready() || !s_.scheduler_.has_capacity()) {
+      // Drain mode or blocked on downstream: may act at the very next
+      // tick, so report the current clock (vetoes any skip past it).
+      return s_.simulator_.now();
+    }
+    // Waiting to fill: wake at the oldest request's timeout. A fill-up
+    // wakes us anyway via the frontend's arrival horizon.
+    return s_.batcher_.next_deadline();
+  }
+
+ private:
+  ServerSession& s_;
+};
+
+/// Drives the device pool, feeds completed responses to the metrics and
+/// (when completion collection is on) mirrors them into the outbox.
+class ServerSession::Dispatch final : public sim::Module {
+ public:
+  explicit Dispatch(ServerSession& session)
+      : Module("DISPATCH"), s_(session) {}
+
+  void tick() override {
+    const sim::Cycle now = s_.simulator_.now();
+    s_.scheduler_.step(now);
+    for (const InferenceResponse& response : s_.scheduler_.collect(now)) {
+      s_.metrics_.record(response);
+      s_.last_completion_ =
+          std::max(s_.last_completion_, response.complete_cycle);
+      if (s_.options_.collect_completions) {
+        Completion completion;
+        completion.outcome = outcome_from_response(response);
+        completion.cache_outcome = response.cache_outcome;
+        completion.cycle = response.complete_cycle;
+        completion.response = response;
+        s_.outbox_.push_back(std::move(completion));
+      }
+      mark_busy();
+    }
+  }
+
+  [[nodiscard]] std::optional<sim::Cycle> next_activity() const override {
+    if (s_.scheduler_.pending_batches() > 0) {
+      // Next dispatch opportunity: a slot freeing (conservative — a past
+      // cycle just vetoes the skip and falls back to per-cycle ticking).
+      return std::min(s_.scheduler_.next_slot_free(s_.simulator_.now()),
+                      s_.scheduler_.next_completion());
+    }
+    return s_.scheduler_.next_completion();
+  }
+
+ private:
+  ServerSession& s_;
+};
+
+ServerSession::ServerSession(ServerConfig config,
+                             const std::vector<ServedModel>& models,
+                             SessionOptions options)
+    : config_(resolve_config(std::move(config))),
+      options_(options),
+      workloads_(make_workloads(models)),
+      tenants_(config_.traffic.tenants),
+      slo_(config_.traffic.slo),
+      generator_(config_.traffic, workloads_, options_.total_requests),
+      admission_(config_.admission, config_.traffic.tenants,
+                 config_.metrics),
+      batcher_(config_.batcher, models.size(),
+               std::max<std::size_t>(1, config_.traffic.tenants.size()),
+               config_.metrics),
+      scheduler_(config_.scheduler, make_devices(config_.accel, models)),
+      metrics_(config_.accel.clock_hz, config_.histogram_bins,
+               /*histogram_hi_cycles=*/50.0e6, config_.power),
+      cursors_(models.size(), 0),
+      // Injected ids start after the generator's range so the merged
+      // id space stays collision-free (and, in pure open loop, 0-based).
+      next_injected_id_(options_.total_requests) {
+  frontend_ = std::make_unique<Frontend>(*this);
+  batch_stage_ = std::make_unique<BatchStage>(*this);
+  dispatch_ = std::make_unique<Dispatch>(*this);
+  simulator_.add_module(*frontend_);
+  simulator_.add_module(*batch_stage_);
+  simulator_.add_module(*dispatch_);
+}
+
+ServerSession::~ServerSession() = default;
+
+std::optional<InferenceRequest> ServerSession::poll_arrival(sim::Cycle now) {
+  if (!injected_.empty()) {
+    const InferenceRequest& front = injected_.front();
+    // The generator wins ties so a mixed schedule orders exactly like
+    // the closed loop would on the shared cycle.
+    if (front.enqueue_cycle <= now &&
+        front.enqueue_cycle < generator_.next_arrival()) {
+      InferenceRequest request = front;
+      injected_.pop_front();
+      return request;
+    }
+  }
+  return generator_.poll(now);
+}
+
+sim::Cycle ServerSession::next_arrival() const noexcept {
+  const sim::Cycle injected = injected_.empty()
+                                  ? sim::kNever
+                                  : injected_.front().enqueue_cycle;
+  return std::min(generator_.next_arrival(), injected);
+}
+
+sim::Cycle ServerSession::deadline_for(std::size_t task,
+                                       TenantId tenant) const noexcept {
+  // Mirrors TrafficGenerator::deadline_for over the *live* tables, so a
+  // submitted request is stamped exactly like a generated one.
+  if (tenant < tenants_.size() &&
+      tenants_[tenant].slo_deadline_cycles != 0) {
+    return tenants_[tenant].slo_deadline_cycles;
+  }
+  return slo_.deadline_for(task);
+}
+
+RequestId ServerSession::submit(const SubmitRequest& request) {
+  if (finalized_) {
+    throw std::logic_error("ServerSession: submit after finalize()");
+  }
+  if (request.task >= workloads_.size()) {
+    throw std::out_of_range("ServerSession: task " +
+                            std::to_string(request.task) + " outside the " +
+                            std::to_string(workloads_.size()) +
+                            "-model registry");
+  }
+  if (request.tenant >= num_tenants()) {
+    throw std::out_of_range("ServerSession: tenant " +
+                            std::to_string(request.tenant) +
+                            " outside the " +
+                            std::to_string(num_tenants()) +
+                            "-entry registry");
+  }
+  InferenceRequest arrival;
+  arrival.id = next_injected_id_++;
+  arrival.task = request.task;
+  arrival.tenant = request.tenant;
+  const TaskWorkload& workload = workloads_[request.task];
+  std::size_t& cursor = cursors_[request.task];
+  arrival.story = &workload.stories[cursor];
+  cursor = (cursor + 1) % workload.stories.size();
+  const sim::Cycle at =
+      std::max({request.at_cycle, simulator_.now(), last_arrival_});
+  last_arrival_ = at;
+  arrival.enqueue_cycle = at;
+  if (request.deadline_cycles == sim::kNever) {
+    arrival.deadline_cycle = sim::kNever;
+  } else if (request.deadline_cycles != 0) {
+    arrival.deadline_cycle = at + request.deadline_cycles;
+  } else {
+    const sim::Cycle slo = deadline_for(request.task, request.tenant);
+    arrival.deadline_cycle = slo == sim::kNever ? sim::kNever : at + slo;
+  }
+  injected_.push_back(arrival);
+  ++injected_emitted_;
+  return arrival.id;
+}
+
+bool ServerSession::step(sim::Cycle cycles) {
+  if (cycles == 0) {
+    return step_until(sim::kNever);
+  }
+  const sim::Cycle now = simulator_.now();
+  // Saturate instead of wrapping past kNever.
+  const sim::Cycle limit =
+      cycles >= sim::kNever - now ? sim::kNever : now + cycles;
+  return step_until(limit);
+}
+
+bool ServerSession::step_until(sim::Cycle limit) {
+  if (finalized_) {
+    throw std::logic_error("ServerSession: step after finalize()");
+  }
+  if (!wall_running_) {
+    wall_running_ = true;
+    wall_start_ = std::chrono::steady_clock::now();
+  }
+  if (!watchdog_start_.has_value()) {
+    watchdog_start_ = simulator_.now();
+  }
+  // This loop is Simulator::run_events with two surgical additions — the
+  // exclusive `limit` holds (marked below) — so that with limit ==
+  // sim::kNever it replays the closed-loop run() tick sequence
+  // bit-identically, watchdog throws included.
+  const sim::Cycle start = *watchdog_start_;
+  const sim::Cycle max_cycles = config_.watchdog_cycles;
+  const std::vector<sim::Module*>& modules = simulator_.modules();
+  while (!idle()) {
+    if (simulator_.now() - start >= max_cycles) {
+      throw std::runtime_error(
+          "Simulator: watchdog expired — dataflow deadlock or runaway");
+    }
+
+    // Quiescence check: if every module agrees nothing can happen before
+    // some future cycle, jump straight there. A nullopt vetoes the jump.
+    sim::Cycle horizon = sim::kNever;
+    bool skippable = !modules.empty();
+    for (const sim::Module* m : modules) {
+      const std::optional<sim::Cycle> next = m->next_activity();
+      if (!next.has_value()) {
+        skippable = false;
+        break;
+      }
+      horizon = std::min(horizon, *next);
+    }
+    if (skippable && horizon > simulator_.now()) {
+      if (limit != sim::kNever && horizon >= limit) {
+        // Exclusive-limit hold: the next event sits at or past the
+        // horizon the driver vouched for, so stop *without* moving the
+        // clock — a later submit may land before `horizon`.
+        return false;
+      }
+      // Clamp so the watchdog still fires instead of wrapping past it.
+      simulator_.advance(std::min(horizon, start + max_cycles) -
+                         simulator_.now());
+      if (simulator_.now() - start >= max_cycles) {
+        throw std::runtime_error(
+            "Simulator: watchdog expired — all modules idle forever");
+      }
+    } else if (limit != sim::kNever && simulator_.now() >= limit) {
+      // Exclusive-limit hold: work is due *now*, but now is past the
+      // driver's horizon — the tick belongs to a future step_until.
+      return false;
+    }
+
+    for (sim::Module* m : modules) {
+      m->tick();
+    }
+    simulator_.advance(1);
+  }
+  return true;
+}
+
+std::vector<Completion> ServerSession::poll_completions() {
+  // Within one drained window, completions from different scheduler
+  // collect() calls interleave only at equal cycles; (cycle, id) makes
+  // the stream a deterministic total order. Windows drain at
+  // non-decreasing clock values, so concatenation preserves it globally.
+  std::sort(outbox_.begin(), outbox_.end(),
+            [](const Completion& a, const Completion& b) {
+              if (a.cycle != b.cycle) {
+                return a.cycle < b.cycle;
+              }
+              return a.response.id < b.response.id;
+            });
+  return std::exchange(outbox_, {});
+}
+
+bool ServerSession::idle() const noexcept {
+  return sources_exhausted() && batcher_.pending() == 0 &&
+         scheduler_.idle();
+}
+
+SessionInfo ServerSession::info() const {
+  SessionInfo info;
+  info.offered = generator_.emitted() + injected_emitted_;
+  for (const std::uint64_t admitted : admission_.tenant_admitted()) {
+    info.admitted += admitted;
+  }
+  info.completed = metrics_.completed();
+  info.shed = admission_.sheds().total();
+  info.batcher_pending = batcher_.pending();
+  info.scheduler_pending = scheduler_.pending_stories();
+  info.in_flight = scheduler_.in_flight();
+  info.cycle = simulator_.now();
+  info.draining = draining_;
+  info.policy = config_.scheduler.policy;
+  return info;
+}
+
+void ServerSession::set_tenant(TenantId tenant, const TenantConfig& config) {
+  if (config.weight <= 0.0) {
+    throw std::invalid_argument(
+        "ServerSession: tenant weight must be > 0");
+  }
+  // The admission controller validates range and quota knobs and throws
+  // before anything is mutated, keeping the update all-or-nothing.
+  admission_.set_tenant(tenant, config);
+  scheduler_.set_tenant_weight(tenant, config.weight);
+  generator_.set_tenant_slo(tenant, config.slo_deadline_cycles);
+  tenants_[tenant] = config;
+}
+
+void ServerSession::set_slo(const SloConfig& slo) {
+  slo_ = slo;
+  generator_.set_slo(slo);
+}
+
+bool ServerSession::set_policy(SchedulerPolicy policy) {
+  if (!scheduler_.set_policy(policy)) {
+    return false;
+  }
+  config_.scheduler.policy = policy;
+  return true;
+}
+
+ServingReport ServerSession::finalize() {
+  if (finalized_) {
+    throw std::logic_error("ServerSession: finalize() called twice");
+  }
+  drain();
+  (void)step_until(sim::kNever);
+  // Drain leftover speculative work so it is inside the wall measurement
+  // and the cache counters below are complete.
+  scheduler_.quiesce();
+  if (wall_running_) {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start_;
+    wall_seconds_ = wall.count();
+  }
+  finalized_ = true;
+
+  RunTotals totals;
+  totals.offered = generator_.emitted() + injected_emitted_;
+  totals.makespan = last_completion_;
+  totals.max_batch = config_.batcher.max_batch;
+  totals.batching = batcher_.counters();
+  totals.sheds = admission_.sheds();
+  totals.tenant_sheds = admission_.tenant_sheds();
+  totals.tenant_admitted = admission_.tenant_admitted();
+  // The live registry, not the construction-time snapshot: a report
+  // should echo the contracts the run actually ended under.
+  totals.tenants = tenants_;
+  totals.queue_stats = batcher_.queue_stats();
+  totals.queue_stats += scheduler_.queue_stats();
+  totals.queue_stats += scheduler_.device_queue_stats();
+  totals.devices = scheduler_.device_reports();
+  totals.model_uploads = scheduler_.total_model_uploads();
+  totals.model_evictions = scheduler_.total_model_evictions();
+  totals.stolen_batches = scheduler_.total_stolen_batches();
+  totals.device_ops = scheduler_.device_ops();
+  totals.link_active_cycles = scheduler_.link_active_cycles();
+  totals.host_wall_seconds = wall_seconds_;
+  totals.workers = scheduler_.worker_count();
+  totals.cycle_cache_enabled = scheduler_.cache_enabled();
+  totals.cycle_cache = scheduler_.cache_stats();
+  return metrics_.finalize(std::move(totals));
+}
+
+}  // namespace mann::serve

@@ -1,0 +1,237 @@
+// ServerSession: the incremental serving session underneath Server.
+//
+// Server::run() is one-shot and closed-loop: it owns the clock,
+// fabricates its own arrivals, and returns a single report. A
+// ServerSession exposes the same stack — generator -> admission ->
+// batcher -> scheduler -> device pool on the shared sim::Simulator — as
+// stepwise primitives an outside driver can interleave:
+//
+//   submit()            inject one request (open-loop ingestion beside,
+//                       or instead of, the closed-loop generator)
+//   step()/step_until() advance the simulated serving loop, bounded by a
+//                       cycle horizon so a driver that learns of
+//                       arrivals late (a live daemon) never lets the
+//                       clock run past what it has been told about
+//   poll_completions()  drain resolved requests (completions AND sheds)
+//                       as serve::Completion records in a deterministic,
+//                       globally (cycle, id)-sorted stream
+//   drain()             flush sub-size batches immediately from here on
+//   finalize()          run to quiescence and fold the ServingReport
+//
+// plus live reconfiguration (set_tenant / set_slo / set_policy) that
+// takes effect mid-run without dropping in-flight requests.
+//
+// Determinism contract: the tick sequence is a pure function of the
+// arrival schedule (generated + submitted), never of *when* the driver
+// called step_until — pausing at any horizon and resuming later replays
+// the exact same cycles. Server::run() is reimplemented as a thin
+// drain/step/finalize composition over one session and stays
+// bit-identical to the historical single-call loop.
+//
+// The horizon is exclusive: step_until(h) processes every event at
+// cycles < h and holds everything at >= h. A lockstep driver that has
+// submitted all arrivals up to cycle c can therefore step_until(c)
+// safely — a not-yet-submitted arrival at exactly c is still in the
+// future when it finally arrives.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "serve/outcome.hpp"
+#include "serve/server.hpp"
+#include "sim/simulator.hpp"
+
+namespace mann::serve {
+
+/// Knobs of one incremental session (see Server::start()).
+struct SessionOptions {
+  /// Closed-loop requests drawn from config.traffic by the generator.
+  /// 0 = pure open-loop: every request arrives via submit().
+  std::size_t total_requests = 0;
+  /// Flush sub-size batches as soon as the arrival sources are idle —
+  /// the closed-loop run() behaviour, where "sources idle" means "the
+  /// run is over". Off (the open-loop default), leftovers age to the
+  /// batcher timeout until drain() is called: between submits the
+  /// sources are *always* momentarily idle, and flushing then would
+  /// defeat batching entirely.
+  bool auto_drain = false;
+  /// Record a Completion per resolved request for poll_completions().
+  /// run() turns this off — nobody polls, so nothing should accumulate.
+  bool collect_completions = true;
+};
+
+/// One open-loop submission (ServerSession::submit()).
+struct SubmitRequest {
+  std::size_t task = 0;
+  TenantId tenant = 0;
+  /// Absolute arrival cycle; 0 = "at the session clock". Arrivals are
+  /// clamped monotone (>= the session clock and every prior arrival) so
+  /// the merged schedule is always a valid trace.
+  sim::Cycle at_cycle = 0;
+  /// Relative deadline budget in cycles: 0 derives the deadline from the
+  /// tenant/task SLO config (exactly like generated traffic),
+  /// sim::kNever forces "no deadline", anything else is an explicit
+  /// arrival-relative budget.
+  sim::Cycle deadline_cycles = 0;
+};
+
+/// Mid-run status snapshot (the daemon's `info` line).
+struct SessionInfo {
+  std::size_t offered = 0;    ///< generated + submitted so far
+  std::size_t admitted = 0;   ///< entered the batcher
+  std::size_t completed = 0;  ///< responses recorded
+  std::size_t shed = 0;       ///< refused, all reasons
+  std::size_t batcher_pending = 0;
+  std::size_t scheduler_pending = 0;  ///< queued batches
+  std::size_t in_flight = 0;          ///< dispatched, completion pending
+  sim::Cycle cycle = 0;               ///< session clock
+  bool draining = false;
+  SchedulerPolicy policy = SchedulerPolicy::kEdf;
+};
+
+class ServerSession {
+ public:
+  /// `models` must outlive the session (Server owns them for sessions
+  /// created via Server::start()).
+  ServerSession(ServerConfig config, const std::vector<ServedModel>& models,
+                SessionOptions options = {});
+  ~ServerSession();
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  /// Injects one request; returns its id (submission order, starting
+  /// after the closed-loop generator's id range). Throws
+  /// std::out_of_range for an unknown task/tenant and std::logic_error
+  /// after finalize().
+  RequestId submit(const SubmitRequest& request);
+
+  /// Advances the serving loop up to `cycles` simulated cycles from the
+  /// current clock (0 = to quiescence). Returns true when the session is
+  /// quiescent (all sources idle, queues empty, nothing in flight).
+  bool step(sim::Cycle cycles);
+
+  /// Advances until the exclusive cycle horizon `limit` (sim::kNever =
+  /// to quiescence). Returns true when quiescent. Throws the serving
+  /// watchdog's std::runtime_error exactly like the historical run().
+  bool step_until(sim::Cycle limit);
+
+  /// Moves out every request resolved since the last poll — completions
+  /// and sheds alike — sorted by (cycle, id). Windows are drained at
+  /// non-decreasing clock values, so concatenated windows form one
+  /// globally sorted deterministic stream.
+  [[nodiscard]] std::vector<Completion> poll_completions();
+
+  /// From now on, sub-size batches flush immediately instead of aging to
+  /// the batcher timeout (sticky; the end-of-stream signal).
+  void drain() noexcept { draining_ = true; }
+
+  /// Drains, runs to quiescence, quiesces host workers and folds the
+  /// final ServingReport — byte-identical to what run() returns for the
+  /// same arrival schedule. Callable once.
+  [[nodiscard]] ServingReport finalize();
+
+  // ---- live reconfiguration (takes effect at the next tick; never
+  // drops queued or in-flight requests) ----
+
+  /// Replaces one tenant's contract across every control-plane stage:
+  /// admission quota/tier, WFQ dispatch weight, and the SLO override
+  /// stamped on future arrivals. Throws std::out_of_range outside the
+  /// registry (its size is fixed at construction) and
+  /// std::invalid_argument for invalid knobs; the old contract is kept
+  /// on throw.
+  void set_tenant(TenantId tenant, const TenantConfig& config);
+
+  /// Replaces the per-task SLO table used for future arrivals.
+  void set_slo(const SloConfig& slo);
+
+  /// Switches the dispatch policy; false (and no change) when the
+  /// layout cannot support it (kWfq on a session built without tenant
+  /// weights). Pending work is re-keyed, never dropped.
+  [[nodiscard]] bool set_policy(SchedulerPolicy policy);
+
+  // ---- introspection ----
+
+  [[nodiscard]] sim::Cycle now() const noexcept { return simulator_.now(); }
+  /// Arrival cycle of the most recent submit() (0 before the first).
+  /// A lockstep driver uses it as the exclusive step_until() horizon:
+  /// everything strictly before the last vouched-for arrival may run.
+  [[nodiscard]] sim::Cycle last_submitted_arrival() const noexcept {
+    return last_arrival_;
+  }
+  /// All sources idle, every queue empty, nothing in flight.
+  [[nodiscard]] bool idle() const noexcept;
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  [[nodiscard]] SessionInfo info() const;
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return workloads_.size();
+  }
+  [[nodiscard]] std::size_t num_tenants() const noexcept {
+    return tenants_.empty() ? 1 : tenants_.size();
+  }
+
+ private:
+  // The serving pipeline stages, each a sim::Module (defined in
+  // session.cpp; nested so they reach the session's internals).
+  class Frontend;
+  class BatchStage;
+  class Dispatch;
+
+  /// Merged arrival source: the earlier of the generator's next emission
+  /// and the injected queue's front (generator wins ties, preserving the
+  /// closed-loop ordering when both fire on one cycle).
+  [[nodiscard]] std::optional<InferenceRequest> poll_arrival(sim::Cycle now);
+  [[nodiscard]] sim::Cycle next_arrival() const noexcept;
+  [[nodiscard]] bool sources_exhausted() const noexcept {
+    return generator_.exhausted() && injected_.empty();
+  }
+  /// Sub-size leftovers flush immediately (drain mode): explicit drain,
+  /// or auto_drain with idle sources (the closed-loop end-of-run).
+  [[nodiscard]] bool drain_ready() const noexcept {
+    return (draining_ || options_.auto_drain) && sources_exhausted();
+  }
+  /// SLO deadline for a submitted request (tenant override, else task).
+  [[nodiscard]] sim::Cycle deadline_for(std::size_t task,
+                                        TenantId tenant) const noexcept;
+
+  ServerConfig config_;  ///< resolved: WFQ weights + obs sinks threaded
+  SessionOptions options_;
+  std::vector<TaskWorkload> workloads_;
+  std::vector<TenantConfig> tenants_;  ///< live registry (set_tenant)
+  SloConfig slo_;                      ///< live SLO table (set_slo)
+  TrafficGenerator generator_;
+  AdmissionController admission_;
+  Batcher batcher_;
+  Scheduler scheduler_;
+  ServingMetrics metrics_;
+  sim::Cycle last_completion_ = 0;
+  sim::Simulator simulator_;
+  std::unique_ptr<Frontend> frontend_;
+  std::unique_ptr<BatchStage> batch_stage_;
+  std::unique_ptr<Dispatch> dispatch_;
+
+  std::deque<InferenceRequest> injected_;  ///< arrival-ordered
+  std::vector<std::size_t> cursors_;  ///< submit(): per-task round-robin
+  std::vector<Completion> outbox_;
+  RequestId next_injected_id_ = 0;
+  std::size_t injected_emitted_ = 0;
+  sim::Cycle last_arrival_ = 0;
+  bool draining_ = false;
+  bool finalized_ = false;
+
+  std::optional<sim::Cycle> watchdog_start_;  ///< clock at first step
+  bool wall_running_ = false;
+  std::chrono::steady_clock::time_point wall_start_{};
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace mann::serve
