@@ -3,6 +3,7 @@
 
 Usage: check_bench_regression.py CURRENT BASELINE
            [--threshold 0.20] [--energy-threshold 0.20]
+           [--min-wall-speedup 1.2]
 
 Fails (exit 1) when:
   * simulated throughput regressed by more than --threshold,
@@ -20,11 +21,23 @@ Fails (exit 1) when:
     dropped by more than 0.05, or the per-tenant outcome diverged
     across worker counts (worker_identical == false),
   * the parallel leg's simulated report diverged from the sequential
-    path (reports_identical == false).
+    path (reports_identical == false),
+  * --min-wall-speedup is given and the host wall_speedup fell below it
+    (the CI perf job gates the warm-persistent-cache run, whose speedup
+    is cache-replay-bound rather than core-count-bound, so this is
+    stable even on small shared runners),
+  * the cycle-cache hit rate fell more than 10 points (absolute) below
+    the baseline's — the signature of a speculation/placement
+    regression, and near-deterministic because the lookup keys are
+    simulated state,
+  * any field this script gates on is missing from either file. A
+    missing host block used to read as zeros via .get() defaults and
+    silently passed; now it fails loudly with the field name.
 
-Only the `simulated` and `multitenant` blocks gate: they are
-deterministic given the seed. The `host` block (wall clock, cache hit
-rate) is machine-dependent and reported for information only.
+The `simulated` and `multitenant` blocks are deterministic given the
+seed. Host wall numbers are machine-dependent: wall times and speedup
+print informationally unless --min-wall-speedup opts the speedup into
+gating.
 """
 
 import argparse
@@ -32,9 +45,31 @@ import json
 import sys
 
 
+# Cycle-cache hit rate may drop at most this much (absolute) vs baseline.
+HIT_RATE_DROP_LIMIT = 0.10
+
+
 def load(path):
     with open(path, encoding="utf-8") as f:
         return json.load(f)
+
+
+def require(obj, key, context, failures):
+    """Fetch a gated field, recording a loud failure when it is absent.
+
+    Returns None on a miss — callers must skip the comparison, not treat
+    the value as zero (the old .get(..., 0) defaults made a missing host
+    block look like a perfect score).
+    """
+    if obj is None:
+        return None
+    if key not in obj:
+        failures.append(
+            f"required field '{context}.{key}' missing — schema too old or "
+            f"the bench run was truncated; regenerate with "
+            f"scripts/update_bench_baseline.sh")
+        return None
+    return obj[key]
 
 
 def main():
@@ -46,6 +81,9 @@ def main():
     parser.add_argument("--energy-threshold", type=float, default=0.20,
                         help="maximum tolerated fractional growth of "
                              "energy-per-inference")
+    parser.add_argument("--min-wall-speedup", type=float, default=None,
+                        help="hard-gate host.wall_speedup at this floor "
+                             "(omit to keep wall numbers informational)")
     args = parser.parse_args()
 
     current = load(args.current)
@@ -56,7 +94,7 @@ def main():
     # Simulated numbers only compare on the identical workload; refuse to
     # gate across differing bench configurations.
     for key in ("schema", "tasks", "requests", "devices", "max_batch",
-                "scheduler_policy", "eviction_policy", "seed"):
+                "scheduler_policy", "eviction_policy", "seed", "affinity"):
         if current.get(key) != baseline.get(key):
             failures.append(
                 f"workload mismatch on '{key}': current "
@@ -137,20 +175,82 @@ def main():
         if cur_mt.get("worker_identical") is False:
             failures.append("multi-tenant leg diverged across worker counts")
 
-    host = current.get("host", {})
-    if host.get("reports_identical") is False:
+    # Host block: every gated field must be present — a missing block or
+    # key is a truncated/old-schema run, not a perfect score.
+    host = current.get("host")
+    if host is None:
+        failures.append(
+            "host block missing from the current run — the bench was "
+            "truncated or ran --parallel off; the perf gate needs the "
+            "parallel leg")
+        host = {}
+    if require(host, "reports_identical", "host", failures) is False:
         failures.append("parallel leg diverged from the sequential path")
-    if host:
-        print(f"host wall: sequential {host.get('sequential_wall_seconds', 0):.3f}s, "
-              f"parallel {host.get('parallel_wall_seconds', 0):.3f}s "
-              f"(wall_speedup {host.get('wall_speedup', 0):.2f}x) "
-              f"[informational]")
-        cache = host.get("cache", {})
-        if cache:
-            print(f"cycle cache: hit rate {cache.get('hit_rate', 0):.1%} "
-                  f"({cache.get('hits', 0)} hits / "
-                  f"{cache.get('waits', 0)} waits / "
-                  f"{cache.get('misses', 0)} misses) [informational]")
+    seq_wall = require(host, "sequential_wall_seconds", "host", failures)
+    par_wall = require(host, "parallel_wall_seconds", "host", failures)
+    speedup = require(host, "wall_speedup", "host", failures)
+    workers = require(host, "workers", "host", failures)
+    if None not in (seq_wall, par_wall, speedup, workers):
+        gated = args.min_wall_speedup is not None
+        print(f"host wall: sequential {seq_wall:.3f}s, parallel "
+              f"{par_wall:.3f}s (wall_speedup {speedup:.2f}x, "
+              f"{workers} workers) "
+              f"[{'gated' if gated else 'informational'}]")
+        if gated and speedup < args.min_wall_speedup:
+            failures.append(
+                f"wall_speedup {speedup:.2f}x below the "
+                f"{args.min_wall_speedup:.2f}x floor — the parallel+cache "
+                f"path lost its advantage over sequential simulation")
+
+    cache = host.get("cache") if host else None
+    if cache is None:
+        failures.append("host.cache block missing — regenerate with "
+                        "scripts/update_bench_baseline.sh")
+    else:
+        hit_rate = require(cache, "hit_rate", "host.cache", failures)
+        hits = require(cache, "hits", "host.cache", failures)
+        waits = require(cache, "waits", "host.cache", failures)
+        misses = require(cache, "misses", "host.cache", failures)
+        base_cache = baseline.get("host", {}).get("cache")
+        base_hit_rate = require(base_cache, "hit_rate", "baseline.host.cache",
+                                failures) if base_cache is not None else None
+        if base_cache is None:
+            failures.append("baseline host.cache block missing — regenerate "
+                            "with scripts/update_bench_baseline.sh")
+        if None not in (hit_rate, hits, waits, misses):
+            print(f"cycle cache: hit rate {hit_rate:.1%} "
+                  f"({hits} hits / {waits} waits / {misses} misses)")
+        if None not in (hit_rate, base_hit_rate):
+            drop = base_hit_rate - hit_rate
+            print(f"cycle cache hit-rate vs baseline: {base_hit_rate:.1%} "
+                  f"-> {hit_rate:.1%} ({-drop:+.1%} absolute)")
+            if drop > HIT_RATE_DROP_LIMIT:
+                failures.append(
+                    f"cycle-cache hit rate dropped {drop:.1%} (absolute) vs "
+                    f"baseline (> {HIT_RATE_DROP_LIMIT:.0%}) — speculation "
+                    f"or placement is mispredicting the warm/cold variant")
+
+    # Speculation scoring (schema >= 4): deterministic, so its presence
+    # is required once both files speak schema 4.
+    if current.get("schema", 0) >= 4:
+        spec = host.get("speculation") if host else None
+        if spec is None:
+            failures.append("host.speculation block missing from a "
+                            "schema-4 run")
+        else:
+            speculated = require(spec, "speculated", "host.speculation",
+                                 failures)
+            useful = require(spec, "useful", "host.speculation", failures)
+            wasted = require(spec, "wasted", "host.speculation", failures)
+            if None not in (speculated, useful, wasted):
+                rate = useful / speculated if speculated else 1.0
+                print(f"speculation: {speculated} speculated, {useful} "
+                      f"useful, {wasted} wasted ({rate:.1%} useful)")
+        persist = host.get("persistent_cache") if host else None
+        if persist is not None and persist.get("enabled"):
+            print(f"persistent cache: loaded {persist.get('loaded', 0)}, "
+                  f"saved {persist.get('saved', 0)} "
+                  f"[{'warm' if persist.get('loaded', 0) else 'cold'} run]")
     # The obs trace-export leg (--trace): wall overhead is machine noise,
     # but simulated identity under tracing is deterministic and gates.
     trace = host.get("trace")

@@ -117,12 +117,13 @@ def print_sheds(events):
 
 
 def print_cache_attribution(events):
-    """Host-domain dispatch/speculation outcomes, misses per task."""
+    """Host-domain dispatch/speculation outcomes, wasted work per task."""
     outcomes = collections.Counter()
     miss_tasks = collections.Counter()
+    wasted_tasks = collections.Counter()
     for e in events:
         name = e.get("name")
-        if name == "cache" and e.get("ph") == "i":
+        if name in ("cache", "speculation") and e.get("ph") == "i":
             pass
         elif name == "speculate" and e.get("ph") == "X":
             pass
@@ -133,6 +134,9 @@ def print_cache_attribution(events):
         outcomes[f"{name}:{outcome}"] += 1
         if outcome == "miss" and args.get("task") is not None:
             miss_tasks[args["task"]] += 1
+        if (name == "speculation" and outcome == "wasted"
+                and args.get("task") is not None):
+            wasted_tasks[args["task"]] += 1
     if not outcomes:
         print("\ncache attribution: no host-domain cache events "
               "(sequential run or MANN_OBS=OFF)")
@@ -144,6 +148,10 @@ def print_cache_attribution(events):
         ranked = ", ".join(
             f"task {t}: {n}" for t, n in miss_tasks.most_common(8))
         print(f"  misses by task: {ranked}")
+    if wasted_tasks:
+        ranked = ", ".join(
+            f"task {t}: {n}" for t, n in wasted_tasks.most_common(8))
+        print(f"  wasted speculation by task: {ranked}")
 
 
 def log2_histogram(values_ms):

@@ -20,7 +20,11 @@ cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" --target serve_throughput
 
 # Exactly the CI perf invocation (see .github/workflows/ci.yml), with
-# only the artifact destinations swapped.
+# only the artifact destinations swapped — and deliberately NO
+# --cache-dir: the baseline must stay COLD. CI gates its warm
+# (persistent-cache) run against this file, and a warm run's ~100%
+# cycle-cache hit rate only has headroom against the 10-point drop
+# limit if the baseline records the cold hit rate.
 "${build_dir}/bench/serve_throughput" \
   --tasks 20 --requests 4000 --wall-gate off \
   --replay bench/traces/sample_diurnal.csv \

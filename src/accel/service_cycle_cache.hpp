@@ -18,20 +18,42 @@
 // publishes (or abandons), which both deduplicates speculative work and
 // lets the simulation thread pick up a prefetched result the moment it
 // is ready.
+//
+// Sizing is cost-informed: an admission floor drops entries cheaper to
+// re-simulate than to keep (set_admission_floor), and capacity eviction
+// can delegate the victim choice to the serving stack's EvictionPolicy
+// machinery (set_eviction_policy) — e.g. cost-aware eviction drops the
+// entry with the fewest simulated cycles, i.e. the one cheapest to
+// recompute. Without a policy the built-in O(1) LRU order applies.
+//
+// Cross-run persistence: the serving suite and its seeds are
+// deterministic, so memoized results are valid across process runs.
+// save()/load() serialize the resident entries to a versioned,
+// checksummed binary file; load is corruption-tolerant (a truncated,
+// garbled or version-mismatched file is ignored with a warning, never a
+// crash) and round-trips bit-exactly (doubles travel as raw bits), so a
+// replayed entry is indistinguishable from a re-simulated one.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "accel/accelerator.hpp"
 #include "data/types.hpp"
 #include "obs/metrics.hpp"
+#include "sim/types.hpp"
+
+namespace mann::serve {
+class EvictionPolicy;  // serve/eviction.hpp (victim choice machinery)
+}  // namespace mann::serve
 
 namespace mann::accel {
 
@@ -46,6 +68,7 @@ struct ServiceCycleCacheStats {
   std::uint64_t waits = 0;        ///< resolved by an in-flight run we blocked on
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t admission_rejects = 0;  ///< publishes below the cost floor
   std::size_t entries = 0;        ///< resident entries at sample time
 
   /// True hits over all lookups (hits + waits + misses).
@@ -82,12 +105,22 @@ class ServiceCycleCache {
     [[nodiscard]] bool operator==(const Key&) const noexcept = default;
   };
 
+  /// On-disk format version: bump whenever the serialized layout
+  /// changes. (Simulator-behaviour changes are guarded elsewhere: the CI
+  /// persistence key hashes the sources, and the bench's sequential-vs-
+  /// parallel identity gate re-derives every number from scratch.)
+  static constexpr std::uint32_t kPersistVersion = 1;
+
   /// `capacity` bounds resident entries; the least recently used entry is
   /// evicted on overflow. Throws std::invalid_argument when 0. When
   /// `metrics` is set the cache mirrors its stats into
   /// "accel.cycle_cache.*" counters (non-owning; may be null).
   explicit ServiceCycleCache(std::size_t capacity = 1024,
                              obs::MetricsRegistry* metrics = nullptr);
+  ~ServiceCycleCache();
+
+  ServiceCycleCache(const ServiceCycleCache&) = delete;
+  ServiceCycleCache& operator=(const ServiceCycleCache&) = delete;
 
   /// Looks up `key`. On a hit returns a copy of the cached result. On a
   /// miss the caller becomes the key's owner and MUST later call
@@ -97,13 +130,40 @@ class ServiceCycleCache {
   [[nodiscard]] std::optional<RunResult> acquire(
       const Key& key, CacheOutcome* outcome = nullptr);
 
-  /// Inserts the owned key's result (evicting LRU beyond capacity) and
-  /// wakes any acquire() blocked on it.
+  /// Inserts the owned key's result (evicting beyond capacity) and wakes
+  /// any acquire() blocked on it. Results below the admission floor are
+  /// not kept — cheaper to recompute than to cache — but the waiters are
+  /// still woken (the rendezvous contract is unconditional).
   void publish(const Key& key, const RunResult& result);
 
   /// Releases ownership without a result (the simulation threw); a
   /// blocked acquire() takes over the computation.
   void abandon(const Key& key) noexcept;
+
+  /// Cost-informed admission: publish() drops results whose simulated
+  /// cost is under `floor` cycles (0 = keep everything, the default).
+  void set_admission_floor(sim::Cycle floor);
+
+  /// Delegates capacity-eviction victim choice to a serve::EvictionPolicy
+  /// (candidates: recency = touch order, frequency = per-entry hits,
+  /// reload cost = the entry's simulated cycles). Null restores the
+  /// built-in O(1) LRU order.
+  void set_eviction_policy(std::unique_ptr<serve::EvictionPolicy> policy);
+
+  // ---- cross-run persistence ----
+
+  /// Serializes every resident entry to `path` (atomically: tmp file +
+  /// rename). Returns the entry count written, or 0 with a stderr
+  /// warning when the file cannot be written. Never throws.
+  [[nodiscard]] std::size_t save(const std::string& path) const;
+
+  /// Merges entries from a file previously written by save() (keys
+  /// already resident win; capacity eviction applies). All-or-nothing:
+  /// a missing, truncated, corrupted or version-mismatched file loads
+  /// nothing, warns on stderr and returns 0 — never throws. Returns the
+  /// entry count loaded. Loaded entries do not count as insertions (the
+  /// stats describe this process's lookups and publishes).
+  [[nodiscard]] std::size_t load(const std::string& path);
 
   [[nodiscard]] ServiceCycleCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
@@ -117,7 +177,16 @@ class ServiceCycleCache {
   struct Entry {
     Key key;
     RunResult result;
+    std::uint64_t touch_seq = 0;  ///< monotone recency clock (policy view)
+    std::uint64_t hits = 0;       ///< lookups resolved by this entry
   };
+
+  /// Inserts without claiming in-flight ownership (load() path); the
+  /// lock must be held. Returns false when the key is already resident.
+  bool insert_locked(Key key, RunResult result);
+  /// Evicts past capacity_ via the installed policy (or LRU); the lock
+  /// must be held.
+  void evict_over_capacity_locked();
 
   mutable std::mutex mutex_;
   std::condition_variable ready_;
@@ -126,6 +195,9 @@ class ServiceCycleCache {
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   std::unordered_set<Key, KeyHash> in_flight_;
   ServiceCycleCacheStats stats_;
+  std::uint64_t touch_counter_ = 0;
+  sim::Cycle admission_floor_ = 0;
+  std::unique_ptr<serve::EvictionPolicy> eviction_;
   // Mirrored obs instruments (null without a registry).
   obs::Counter* obs_hits_ = nullptr;
   obs::Counter* obs_waits_ = nullptr;

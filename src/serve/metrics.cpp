@@ -195,6 +195,7 @@ ServingReport ServingMetrics::finalize(RunTotals totals) const {
   report.workers = totals.workers;
   report.cycle_cache_enabled = totals.cycle_cache_enabled;
   report.cycle_cache = totals.cycle_cache;
+  report.speculation = totals.speculation;
   if (totals.makespan > 0 && !report.devices.empty()) {
     double utilization = 0.0;
     for (const DeviceReport& d : report.devices) {

@@ -150,6 +150,10 @@ struct ServingReport {
   std::size_t workers = 0;            ///< host worker threads (0 = serial)
   bool cycle_cache_enabled = false;
   accel::ServiceCycleCacheStats cycle_cache;  ///< zeros when disabled
+  /// Worker prefetch scoring: useful = predicted variant matched the
+  /// dispatch, wasted = worker simulated a variant the dispatch could
+  /// not use. Zeros when workers == 0; deterministic otherwise.
+  SpeculationStats speculation;
 
   BatcherCounters batching;
   std::vector<DeviceReport> devices;
@@ -186,6 +190,7 @@ struct RunTotals {
   std::size_t workers = 0;
   bool cycle_cache_enabled = false;
   accel::ServiceCycleCacheStats cycle_cache;
+  SpeculationStats speculation;
 };
 
 class ServingMetrics {

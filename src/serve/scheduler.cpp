@@ -58,12 +58,22 @@ Scheduler::Scheduler(SchedulerConfig config,
   queues_.assign(shards_ * tenant_lanes_, PendingQueue(PendingOrder{order}));
   task_dispatches_.resize(task_devices_.size(), 0);
   task_cycles_.resize(task_devices_.size());
+  speculation_tail_.resize(shards_);
   eviction_ = make_eviction_policy(config_.eviction, config_.metrics);
   cache_ = config_.cycle_cache;
   if (cache_ == nullptr && config_.workers > 0) {
     owned_cache_ = std::make_unique<accel::ServiceCycleCache>(
         config_.cache_capacity == 0 ? 1 : config_.cache_capacity,
         config_.metrics);
+    // Cost-informed sizing for the owned cache: evict the entry cheapest
+    // to re-simulate (its cycles ARE its reload cost), and refuse entries
+    // below the admission floor outright. External caches are configured
+    // by their owner (the bench's persistent cache wants everything).
+    owned_cache_->set_eviction_policy(
+        make_eviction_policy(EvictionPolicyKind::kCostAware, nullptr));
+    if (config_.cycle_cache_min_cycles > 0) {
+      owned_cache_->set_admission_floor(config_.cycle_cache_min_cycles);
+    }
     cache_ = owned_cache_.get();
   }
   if (config_.workers > 0) {
@@ -112,9 +122,7 @@ bool Scheduler::submit(Batch batch) {
     ++pending_stats_.full_rejects;
     return false;
   }
-  if (pool_ != nullptr) {
-    speculate(batch);
-  }
+  const std::int8_t predicted = pool_ != nullptr ? speculate(batch) : -1;
   const std::size_t lane = tenant_lanes_ > 1 ? batch.tenant : 0;
   if (tenant_lanes_ > 1) {
     TenantQueueState& tenant = tenants_[lane];
@@ -129,7 +137,7 @@ bool Scheduler::submit(Batch batch) {
   }
   const std::size_t index = lane_index(queue_for(batch.task), lane);
   pending_stories_ += batch.size();
-  queues_[index].insert({std::move(batch), next_seq_++});
+  queues_[index].insert({std::move(batch), next_seq_++, predicted});
   ++pending_total_;
   ++pending_stats_.pushes;
   pending_stats_.max_occupancy =
@@ -177,18 +185,40 @@ sim::Cycle Scheduler::backlog_cycles(sim::Cycle now) const noexcept {
   return total;
 }
 
-void Scheduler::speculate(const Batch& batch) {
-  // Predict the dispatch-time variant from submit-time residency: warm
-  // once the program sits in any slot (the steady state), cold before
-  // its first upload. The exception is the churn regime — more served
-  // tasks than pool slots — where residency rarely survives from submit
-  // to dispatch (eviction displaces the program first), so cold is the
-  // overwhelmingly likely variant even while the task is resident
-  // somewhere right now. A mispredict costs nothing but the wasted
-  // worker run — dispatch falls back to inline simulation of the
-  // variant it needs.
-  const bool churn = task_devices_.size() > slots_.size();
-  const bool warm = !churn && task_resident_anywhere(batch.task);
+std::int8_t Scheduler::speculate(const Batch& batch) {
+  // Predict the warm/cold variant the dispatch will need. A mispredict
+  // never affects correctness — dispatch simulates the variant it needs
+  // inline — it only wastes the worker's run, so the predictor's job is
+  // purely to keep workers useful.
+  bool warm = false;
+  if (config_.affinity_speculation) {
+    // Affinity predictor: within a shard, submit order approximates
+    // dispatch order, so the shard's most recently *submitted* task is
+    // the best estimate of what its slot will hold when this batch
+    // reaches the device. That beats global residency in both regimes:
+    // under churn (more tasks than slots) consecutive same-task batches
+    // still predict warm while everything else correctly predicts cold,
+    // and on small task sets it predicts warm one submit earlier than
+    // waiting to observe residency. Before the shard's first submit,
+    // fall back to current residency (the home slot's for a dedicated
+    // shard, anywhere for the shared pool).
+    const std::size_t shard = queue_for(batch.task);
+    if (const auto& tail = speculation_tail_[shard]; tail.has_value()) {
+      warm = *tail == batch.task;
+    } else if (config_.dedicated_devices > 0) {
+      warm = slots_[shard].resident_task == batch.task;
+    } else {
+      warm = task_resident_anywhere(batch.task);
+    }
+    speculation_tail_[shard] = batch.task;
+  } else {
+    // Legacy heuristic (PR 2): warm once resident anywhere, except in
+    // the churn regime where eviction rarely lets residency survive from
+    // submit to dispatch.
+    const bool churn = task_devices_.size() > slots_.size();
+    warm = !churn && task_resident_anywhere(batch.task);
+  }
+  ++speculation_.speculated;
   auto stories = std::make_shared<const std::vector<data::EncodedStory>>(
       batch.stories);
   const accel::Accelerator& device = task_devices_[batch.task];
@@ -223,6 +253,7 @@ void Scheduler::speculate(const Batch& batch) {
                       accel::cache_outcome_name(outcome), task);
     }
   });
+  return warm ? 1 : 0;
 }
 
 bool Scheduler::set_policy(SchedulerPolicy policy) {
@@ -283,17 +314,17 @@ void Scheduler::step(sim::Cycle now) {
   }
 }
 
-Batch Scheduler::pop_queue(std::size_t index) {
+Scheduler::PendingBatch Scheduler::pop_queue(std::size_t index) {
   PendingQueue& queue = queues_[index];
   auto node = queue.extract(queue.begin());
-  Batch batch = std::move(node.value().batch);
+  PendingBatch pending = std::move(node.value());
   --pending_total_;
   ++pending_stats_.pops;
-  pending_stories_ -= batch.size();
+  pending_stories_ -= pending.batch.size();
   if (tenant_lanes_ > 1) {
     --tenants_[index % tenant_lanes_].pending;
   }
-  return batch;
+  return pending;
 }
 
 void Scheduler::step_fifo(sim::Cycle now) {
@@ -319,8 +350,8 @@ void Scheduler::step_fifo(sim::Cycle now) {
     if (slot == nullptr) {
       return;  // head-of-line batch waits; nothing behind it jumps ahead
     }
-    const Batch batch = pop_queue(best_queue);
-    dispatch(*slot, batch, now, /*stolen=*/false);
+    const PendingBatch pending = pop_queue(best_queue);
+    dispatch(*slot, pending, now, /*stolen=*/false);
   }
 }
 
@@ -446,21 +477,21 @@ bool Scheduler::dispatch_best_edf(sim::Cycle now) {
   if (best_queue == queues_.size()) {
     return false;
   }
-  const Batch batch = pop_queue(best_queue);
+  const PendingBatch pending = pop_queue(best_queue);
   // Rebuild the winner's eligible set once for the slot choice (same
   // inputs as the scan above, so the same slots qualify).
   const bool steal_ok = config_.work_stealing && dedicated > 0 &&
-                        steal_worthwhile(best_shard, batch, now);
+                        steal_worthwhile(best_shard, pending.batch, now);
   std::vector<Slot*> free_slots;
   for (Slot& slot : slots_) {
     if (slot_eligible(slot, best_shard, steal_ok, now)) {
       free_slots.push_back(&slot);
     }
   }
-  Slot* slot = choose_slot_edf(free_slots, best_shard, batch.task);
+  Slot* slot = choose_slot_edf(free_slots, best_shard, pending.batch.task);
   const bool stolen =
       dedicated > 0 && slot->id < dedicated && slot->id != best_shard;
-  dispatch(*slot, batch, now, stolen);
+  dispatch(*slot, pending, now, stolen);
   return true;
 }
 
@@ -527,16 +558,17 @@ bool Scheduler::dispatch_best_wfq(sim::Cycle now) {
     if (best_index == queues_.size()) {
       continue;  // this tenant's work is slot-blocked; try the next one
     }
-    const Batch batch = pop_queue(best_index);
+    const PendingBatch pending = pop_queue(best_index);
     const bool steal_ok = config_.work_stealing && dedicated > 0 &&
-                          steal_worthwhile(best_shard, batch, now);
+                          steal_worthwhile(best_shard, pending.batch, now);
     std::vector<Slot*> free_slots;
     for (Slot& slot : slots_) {
       if (slot_eligible(slot, best_shard, steal_ok, now)) {
         free_slots.push_back(&slot);
       }
     }
-    Slot* slot = choose_slot_edf(free_slots, best_shard, batch.task);
+    Slot* slot =
+        choose_slot_edf(free_slots, best_shard, pending.batch.task);
     const bool stolen =
         dedicated > 0 && slot->id < dedicated && slot->id != best_shard;
     // Virtual-time charge: the global clock advances to the winner's
@@ -545,8 +577,8 @@ bool Scheduler::dispatch_best_wfq(sim::Cycle now) {
     TenantQueueState& tenant = tenants_[lane];
     global_virtual_ = std::max(global_virtual_, tenant.virtual_finish);
     tenant.virtual_finish +=
-        static_cast<double>(batch.size()) / tenant.weight;
-    dispatch(*slot, batch, now, stolen);
+        static_cast<double>(pending.batch.size()) / tenant.weight;
+    dispatch(*slot, pending, now, stolen);
     return true;
   }
   return false;
@@ -592,9 +624,25 @@ Scheduler::Slot* Scheduler::choose_slot_edf(
   return free_slots[victim];
 }
 
-void Scheduler::dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
-                         bool stolen) {
+void Scheduler::dispatch(Slot& slot, const PendingBatch& pending,
+                         sim::Cycle now, bool stolen) {
+  const Batch& batch = pending.batch;
   const bool warm = slot.resident_task == batch.task;
+  if (pending.predicted >= 0) {
+    // Score the submit-time prediction against the variant this slot
+    // actually needs. Both sides are simulated state, so the counts
+    // replay identically for any worker count.
+    const bool matched = (pending.predicted == 1) == warm;
+    ++(matched ? speculation_.useful : speculation_.wasted);
+    if (trace_ != nullptr) {
+      // Host-domain like every speculation artifact: which runs were
+      // wasted is invisible to the simulated timeline.
+      trace_->instant(obs::Domain::kHost, obs::kTrackDispatch,
+                      "speculation", trace_->wall_ns(),
+                      matched ? "useful" : "wasted",
+                      static_cast<std::int64_t>(batch.task), batch.tenant);
+    }
+  }
   accel::RunOptions options;
   options.model_resident = warm;
   // With caching on this usually replays a memoized (often speculatively

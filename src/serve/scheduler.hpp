@@ -52,15 +52,26 @@
 //
 // Host-parallel execution: with `workers > 0` the scheduler also owns a
 // WorkerPool and a ServiceCycleCache. Every submitted batch is
-// speculatively simulated on a worker (with the warm/cold variant
-// predicted from current slot residency) and published into the cache;
-// by the time the simulated clock reaches the dispatch, the result is
+// speculatively simulated on a worker and published into the cache; by
+// the time the simulated clock reaches the dispatch, the result is
 // usually already memoized and the dispatch replays it for free. The
 // dispatch path itself is unchanged — it runs the device through the
 // same cache, so a speculation miss (or mispredicted variant) simply
 // simulates inline. Dispatch decisions never depend on worker timing,
 // which keeps the serving timeline bit-identical for any worker count,
 // including zero (the sequential escape hatch).
+//
+// Speculation is *affinity-aware*: the warm/cold variant a worker
+// simulates is predicted from the shard the batch will dispatch on —
+// the task of the shard's most recently submitted batch approximates
+// what will be resident when this batch reaches the device, because
+// submit order approximates dispatch order within a shard. Every
+// prediction is scored at dispatch (useful when the predicted variant
+// matched the one the slot actually needed, wasted otherwise) into
+// SpeculationStats; the prediction is a pure function of the simulated
+// submit history, so the counts are identical for any worker count > 0.
+// `SchedulerConfig::affinity_speculation = false` restores the PR 2
+// global-residency heuristic as a measurement escape hatch.
 #pragma once
 
 #include <cstdint>
@@ -93,6 +104,22 @@ enum class SchedulerPolicy : std::uint8_t {
 [[nodiscard]] const char* scheduler_policy_name(
     SchedulerPolicy policy) noexcept;
 
+/// Speculation outcome accounting. `speculated` counts worker prefetch
+/// jobs; each is scored at its batch's dispatch as `useful` (the
+/// predicted warm/cold variant matched the slot) or `wasted` (the worker
+/// simulated the variant the dispatch could not use), so after a drain
+/// speculated == useful + wasted. All three are pure functions of the
+/// simulated timeline — identical for any worker count > 0, all zero at
+/// workers == 0.
+struct SpeculationStats {
+  std::uint64_t speculated = 0;
+  std::uint64_t useful = 0;
+  std::uint64_t wasted = 0;
+
+  [[nodiscard]] bool operator==(const SpeculationStats&) const noexcept =
+      default;
+};
+
 struct SchedulerConfig {
   std::size_t devices = 2;
   /// First `dedicated_devices` slots are sharded by task id; the rest
@@ -117,9 +144,19 @@ struct SchedulerConfig {
   /// clock. 0 = sequential host execution (the debugging escape hatch);
   /// the natural setting is one worker per device slot.
   std::size_t workers = 0;
+  /// Affinity-aware warm/cold prediction for speculation (see the header
+  /// comment). Off restores the PR 2 global-residency heuristic — the
+  /// bench's `--no-affinity` escape hatch for measuring what affinity
+  /// awareness buys. Never affects dispatch, only worker efficiency.
+  bool affinity_speculation = true;
   /// Entry bound of the internally owned service-cycle cache (ignored
   /// when `cycle_cache` is supplied).
   std::size_t cache_capacity = 1024;
+  /// Admission floor of the owned cycle cache: published results cheaper
+  /// than this many simulated cycles are not cached (recomputing them
+  /// costs less than the entry they would displace). 0 keeps everything.
+  /// Ignored for an external `cycle_cache` (its owner configures it).
+  sim::Cycle cycle_cache_min_cycles = 0;
   /// External service-cycle cache (non-owning) — lets callers share one
   /// cache across Server runs so a repeated workload replays instantly.
   /// When null and `workers > 0`, the scheduler owns a private cache
@@ -255,6 +292,11 @@ class Scheduler {
 
   /// Service-cycle cache counters (all zero when caching is off).
   [[nodiscard]] accel::ServiceCycleCacheStats cache_stats() const;
+  /// Speculation outcome counters (all zero when workers == 0). Complete
+  /// once every submitted batch has dispatched.
+  [[nodiscard]] const SpeculationStats& speculation_stats() const noexcept {
+    return speculation_;
+  }
   [[nodiscard]] bool cache_enabled() const noexcept {
     return cache_ != nullptr;
   }
@@ -282,10 +324,13 @@ class Scheduler {
   };
 
   /// One queued batch, stamped with its admission sequence number (the
-  /// deterministic tie-break and the FIFO ordering key).
+  /// deterministic tie-break and the FIFO ordering key) and the warm/cold
+  /// variant speculation predicted for it at submit (1 warm, 0 cold, -1
+  /// not speculated) — scored against the actual dispatch.
   struct PendingBatch {
     Batch batch;
     std::uint64_t seq = 0;
+    std::int8_t predicted = -1;
   };
 
   /// Ordering of the shard queues: EDF (and the per-tenant WFQ lanes)
@@ -342,7 +387,7 @@ class Scheduler {
                                       sim::Cycle now) const noexcept;
   /// Removes and returns the head batch of queues_[index], maintaining
   /// the pending counters and tenant state.
-  [[nodiscard]] Batch pop_queue(std::size_t index);
+  [[nodiscard]] PendingBatch pop_queue(std::size_t index);
   [[nodiscard]] bool dispatch_best_edf(sim::Cycle now);
   [[nodiscard]] bool dispatch_best_wfq(sim::Cycle now);
   void step_fifo(sim::Cycle now);
@@ -352,11 +397,12 @@ class Scheduler {
   /// filtered to the shard's eligible set).
   [[nodiscard]] Slot* choose_slot_edf(const std::vector<Slot*>& free_slots,
                                       std::size_t queue, std::size_t task);
-  void dispatch(Slot& slot, const Batch& batch, sim::Cycle now,
+  void dispatch(Slot& slot, const PendingBatch& pending, sim::Cycle now,
                 bool stolen);
-  /// Prefetch: simulate `batch` on a worker with the residency-predicted
-  /// warm/cold variant and publish the result into the cache.
-  void speculate(const Batch& batch);
+  /// Prefetch: simulate `batch` on a worker with the affinity-predicted
+  /// warm/cold variant and publish the result into the cache. Returns the
+  /// predicted variant (1 warm / 0 cold) for dispatch-time scoring.
+  [[nodiscard]] std::int8_t speculate(const Batch& batch);
   [[nodiscard]] bool task_resident_anywhere(std::size_t task) const noexcept;
   [[nodiscard]] sim::Cycle reload_estimate(std::size_t task) const noexcept;
 
@@ -384,6 +430,11 @@ class Scheduler {
   sim::Cycle link_active_cycles_ = 0;
   std::vector<std::uint64_t> task_dispatches_;
   std::vector<TaskCycleEstimate> task_cycles_;
+  /// Per-shard task of the most recently *submitted* batch — the
+  /// affinity predictor's residency estimate (nullopt before the shard's
+  /// first submit).
+  std::vector<std::optional<std::size_t>> speculation_tail_;
+  SpeculationStats speculation_;
   std::unique_ptr<EvictionPolicy> eviction_;
   std::unique_ptr<accel::ServiceCycleCache> owned_cache_;
   accel::ServiceCycleCache* cache_ = nullptr;  ///< owned or external

@@ -525,6 +525,7 @@ ServingReport ServerSession::finalize() {
   totals.workers = scheduler_.worker_count();
   totals.cycle_cache_enabled = scheduler_.cache_enabled();
   totals.cycle_cache = scheduler_.cache_stats();
+  totals.speculation = scheduler_.speculation_stats();
   return metrics_.finalize(std::move(totals));
 }
 

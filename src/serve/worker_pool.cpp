@@ -35,6 +35,7 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::submit(Job job) {
+  bool need_notify = false;
   {
     std::lock_guard lock(mutex_);
     if (stopping_) {
@@ -42,9 +43,15 @@ void WorkerPool::submit(Job job) {
     }
     queue_.push_back(std::move(job));
     ++submitted_;
+    // Signal only a parked worker. A busy one re-checks the queue under
+    // the lock before waiting, so it cannot miss this job; skipping the
+    // syscall is the whole point of the slim handoff (see the header).
+    need_notify = idle_ > 0;
   }
   obs::add(obs_jobs_submitted_);
-  work_ready_.notify_one();
+  if (need_notify) {
+    work_ready_.notify_one();
+  }
 }
 
 std::size_t WorkerPool::outstanding() const {
@@ -64,7 +71,9 @@ std::uint64_t WorkerPool::jobs_completed() const {
 
 void WorkerPool::wait_idle() {
   std::unique_lock lock(mutex_);
+  ++waiters_;
   all_done_.wait(lock, [&] { return completed_ == submitted_; });
+  --waiters_;
 }
 
 std::size_t WorkerPool::current_worker() noexcept { return t_worker_index; }
@@ -75,7 +84,9 @@ void WorkerPool::worker_loop(std::size_t index) {
     Job job;
     {
       std::unique_lock lock(mutex_);
+      ++idle_;
       work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      --idle_;
       // Drain the queue even when stopping: a speculative result computed
       // now is still a valid cache entry, and abandoned jobs would leave
       // wait_idle() callers blocked.
@@ -93,12 +104,18 @@ void WorkerPool::worker_loop(std::size_t index) {
       // wait_idle() forever. Failures must be reported via the job's own
       // channel (the serving scheduler re-simulates inline and rethrows).
     }
+    bool need_notify = false;
     {
       std::lock_guard lock(mutex_);
       ++completed_;
+      // Only the last outstanding completion can satisfy wait_idle(),
+      // and only when someone is actually parked there.
+      need_notify = completed_ == submitted_ && waiters_ > 0;
     }
     obs::add(obs_jobs_completed_);
-    all_done_.notify_all();
+    if (need_notify) {
+      all_done_.notify_all();
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include "accel/compiler.hpp"
 #include "model/memn2n.hpp"
 #include "numeric/random.hpp"
+#include "serve/eviction.hpp"
 
 namespace mann::accel {
 namespace {
@@ -276,6 +277,60 @@ TEST(ServiceCycleCache, DifferentProgramsDoNotCollide) {
   (void)second.run(stories, options);
   EXPECT_EQ(cache.stats().misses, 2U);
   EXPECT_EQ(cache.stats().hits, 0U);
+}
+
+TEST(ServiceCycleCache, AdmissionFloorDropsCheapResultsButWakesWaiters) {
+  ServiceCycleCache cache(4);
+  cache.set_admission_floor(100);
+
+  // Below the floor: cheaper to re-simulate than to hold a slot.
+  const ServiceCycleCache::Key cheap{1, 1, 1, false};
+  EXPECT_FALSE(cache.acquire(cheap).has_value());
+  std::optional<RunResult> seen{fake_result(0)};  // sentinel non-empty
+  std::thread waiter([&] { seen = cache.acquire(cheap); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  cache.publish(cheap, fake_result(99));
+  waiter.join();
+  // The rendezvous contract held — the waiter woke — but the entry was
+  // not admitted, so the waiter took over the computation (a miss).
+  EXPECT_FALSE(seen.has_value());
+  cache.abandon(cheap);
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.stats().admission_rejects, 1U);
+  EXPECT_EQ(cache.stats().insertions, 0U);
+
+  // At/above the floor: admitted as usual.
+  const ServiceCycleCache::Key costly{1, 2, 1, false};
+  EXPECT_FALSE(cache.acquire(costly).has_value());
+  cache.publish(costly, fake_result(100));
+  EXPECT_TRUE(cache.acquire(costly).has_value());
+  EXPECT_EQ(cache.stats().insertions, 1U);
+  EXPECT_EQ(cache.stats().admission_rejects, 1U);
+}
+
+TEST(ServiceCycleCache, CostAwareEvictionDropsCheapestToRecompute) {
+  ServiceCycleCache cache(2);
+  cache.set_eviction_policy(
+      serve::make_eviction_policy(serve::EvictionPolicyKind::kCostAware));
+
+  const ServiceCycleCache::Key expensive{1, 0, 1, false};
+  const ServiceCycleCache::Key cheap{2, 0, 1, false};
+  const ServiceCycleCache::Key next{3, 0, 1, false};
+  EXPECT_FALSE(cache.acquire(expensive).has_value());
+  cache.publish(expensive, fake_result(9'000));
+  EXPECT_FALSE(cache.acquire(cheap).has_value());
+  cache.publish(cheap, fake_result(10));
+  // Touch the cheap entry so plain LRU would have evicted `expensive`;
+  // the cost-aware policy instead drops the entry cheapest to re-run.
+  EXPECT_TRUE(cache.acquire(cheap).has_value());
+  EXPECT_FALSE(cache.acquire(next).has_value());
+  cache.publish(next, fake_result(5'000));
+
+  EXPECT_EQ(cache.stats().evictions, 1U);
+  EXPECT_TRUE(cache.acquire(expensive).has_value());  // survivor
+  EXPECT_TRUE(cache.acquire(next).has_value());
+  EXPECT_FALSE(cache.acquire(cheap).has_value());  // evicted: cheapest
+  cache.abandon(cheap);
 }
 
 TEST(ServiceCycleCache, ClearResetsEntriesAndStats) {

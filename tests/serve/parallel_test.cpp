@@ -111,6 +111,55 @@ TEST(ParallelServing, SharedCacheReplaysRepeatedWorkloadInstantly) {
   EXPECT_EQ(after_second.entries, after_first.entries);
 }
 
+TEST(ParallelServing, AffinitySpeculationStatsAreDeterministic) {
+  const auto stories = tiny_stories(10);
+  // The predicted variant is recorded at submit and scored against the
+  // simulated timeline at dispatch — a pure function of that timeline,
+  // so the score cannot depend on how many workers raced ahead.
+  ServerConfig two = parallel_server_config(2);
+  ServerConfig four = parallel_server_config(4);
+  const ServingReport with_two =
+      Server(two, two_models(stories)).run(80);
+  const ServingReport with_four =
+      Server(four, two_models(stories)).run(80);
+
+  EXPECT_GT(with_two.speculation.speculated, 0U);
+  EXPECT_EQ(with_two.speculation.speculated,
+            with_two.speculation.useful + with_two.speculation.wasted);
+  EXPECT_TRUE(with_two.speculation == with_four.speculation);
+  expect_same_simulated_report(with_two, with_four);
+}
+
+TEST(ParallelServing, SequentialPathNeverSpeculates) {
+  const auto stories = tiny_stories(10);
+  const ServingReport sequential =
+      Server(parallel_server_config(0), two_models(stories)).run(60);
+  EXPECT_EQ(sequential.speculation.speculated, 0U);
+  EXPECT_EQ(sequential.speculation.useful, 0U);
+  EXPECT_EQ(sequential.speculation.wasted, 0U);
+}
+
+TEST(ParallelServing, AffinityOffMatchesSequentialAndStillSpeculates) {
+  const auto stories = tiny_stories(10);
+  const ServingReport sequential =
+      Server(parallel_server_config(0), two_models(stories)).run(80);
+
+  // --no-affinity restores the legacy churn heuristic; either predictor
+  // only steers which variant workers pre-simulate, so the simulated
+  // report stays bit-identical to the sequential path.
+  for (const std::size_t workers : {2U, 4U}) {
+    ServerConfig config = parallel_server_config(workers);
+    config.scheduler.affinity_speculation = false;
+    const ServingReport legacy =
+        Server(config, two_models(stories)).run(80);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_same_simulated_report(sequential, legacy);
+    EXPECT_GT(legacy.speculation.speculated, 0U);
+    EXPECT_EQ(legacy.speculation.speculated,
+              legacy.speculation.useful + legacy.speculation.wasted);
+  }
+}
+
 TEST(ParallelServing, CacheWithoutWorkersIsPureMemoization) {
   const auto stories = tiny_stories(10);
   accel::ServiceCycleCache cache(256);
