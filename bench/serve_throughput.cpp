@@ -28,6 +28,13 @@
 //      be bit-identical to the untraced run — i.e. zero simulated
 //      overhead — and the Chrome trace-event JSON lands at PATH for
 //      Perfetto / scripts/trace_summary.py)
+//   9. optional cluster sweep (--cluster-trace) (the mann::cluster
+//      routing tier: a cluster-of-1 must be bit-identical to the bare
+//      Server on the unscaled trace, then a 4-instance fleet serves the
+//      --cluster-scale'd trace under each router policy — consistent-hash
+//      task affinity vs power-of-two least-loaded vs tenant-aware spill —
+//      and an autoscaled fleet must beat the fixed one on J/inference
+//      through the diurnal trough)
 //
 // Expected shapes: stories/s grows with the pool until arrival-bound;
 // accuracy is identical across pool sizes AND scheduler policies (same
@@ -64,6 +71,10 @@
 //                      "parallel+cache vs true sequential cost".
 //   --no-affinity      disable affinity-aware speculation (restores the
 //                      legacy global-residency warm/cold predictor)
+//   --cluster-trace P  run the cluster sweep (sweep 9) over the trace CSV
+//   --cluster-scale F  amplify the cluster trace F-fold via
+//                      serve::scale_trace before the fleet legs
+//                      (default 10; the identity leg always replays 1x)
 //   --train-fallback   train stand-in models when mann_bench_cache is absent
 #include <algorithm>
 #include <cstdio>
@@ -93,6 +104,8 @@ struct BenchOptions {
   std::string replay_path;  ///< recorded arrival schedule (CSV, sweep 5)
   std::string trace_path;   ///< Chrome trace-event export (JSON, sweep 8)
   std::string cache_dir;    ///< cross-run persistent cycle cache (sweep 6)
+  std::string cluster_trace_path;  ///< cluster-sweep arrival CSV (sweep 9)
+  std::size_t cluster_scale = 10;  ///< trace amplification for the fleet legs
   serve::SchedulerPolicy policy = serve::SchedulerPolicy::kEdf;
   serve::EvictionPolicyKind eviction = serve::EvictionPolicyKind::kLru;
   bool parallel = true;
@@ -172,6 +185,10 @@ BenchOptions parse_args(int argc, char** argv) {
       opts.wall_gate = std::strcmp(next(), "off") != 0;
     } else if (arg == "--cache-dir") {
       opts.cache_dir = next();
+    } else if (arg == "--cluster-trace") {
+      opts.cluster_trace_path = next();
+    } else if (arg == "--cluster-scale") {
+      opts.cluster_scale = positive(next());
     } else if (arg == "--no-affinity") {
       opts.affinity = false;
     } else if (arg == "--train-fallback") {
@@ -182,7 +199,9 @@ BenchOptions parse_args(int argc, char** argv) {
                    "[--json PATH] [--policies-json PATH] [--scheduler "
                    "fifo|edf] [--eviction lru|lfu|cost] [--replay PATH] "
                    "[--trace PATH] [--parallel off] [--wall-gate off] "
-                   "[--cache-dir DIR] [--no-affinity] [--train-fallback]\n");
+                   "[--cache-dir DIR] [--cluster-trace PATH] "
+                   "[--cluster-scale F] [--no-affinity] "
+                   "[--train-fallback]\n");
       std::exit(2);
     }
   }
@@ -275,27 +294,13 @@ void print_serving_row(const runtime::ServingMeasurement& m) {
       r.energy.per_inference_joules * 1e3, r.host_wall_seconds);
 }
 
-/// Simulated numbers must not move when host execution changes.
-bool simulated_reports_identical(const serve::ServingReport& a,
-                                 const serve::ServingReport& b) {
-  return a.completed == b.completed && a.rejected == b.rejected &&
-         a.makespan_cycles == b.makespan_cycles && a.accuracy == b.accuracy &&
-         a.latency.p50_cycles == b.latency.p50_cycles &&
-         a.latency.p95_cycles == b.latency.p95_cycles &&
-         a.latency.p99_cycles == b.latency.p99_cycles &&
-         a.latency.max_cycles == b.latency.max_cycles &&
-         a.model_uploads == b.model_uploads &&
-         a.model_evictions == b.model_evictions &&
-         a.stolen_batches == b.stolen_batches &&
-         a.deadline_missed == b.deadline_missed &&
-         a.energy.per_inference_joules == b.energy.per_inference_joules &&
-         a.batching.batches_out == b.batching.batches_out;
-}
+// Simulated numbers must not move when host execution changes — the
+// byte-stable comparison now lives in serve::simulated_reports_identical
+// (it covers the per-tenant view too), shared with mann::cluster's
+// cluster-of-1 identity gate.
+using serve::simulated_reports_identical;
 
-/// The per-tenant view must be worker-count invariant too (completions,
-/// violations and every ShedReason-tagged shed, tenant by tenant —
-/// TenantReport's defaulted operator== covers every field, so this check
-/// cannot go stale as the report grows).
+/// Kept as a narrower alias where only the tenant view is under test.
 bool tenant_reports_identical(const serve::ServingReport& a,
                               const serve::ServingReport& b) {
   return a.tenants == b.tenants;
@@ -318,6 +323,80 @@ std::vector<serve::TenantConfig> qos_tenants() {
   tenants[2].quota_interarrival_cycles = 8'000.0;  // entitled to ~1/5th
   tenants[2].quota_burst = 16.0;
   return tenants;
+}
+
+/// Outcome of the optional sweep-9 cluster sweep (--cluster-trace PATH).
+struct ClusterSweep {
+  bool ran = false;
+  /// Cluster-of-1 bit-identical to a bare Server on the unscaled trace.
+  bool single_equivalent = true;
+  std::size_t instances = 4;
+  std::size_t scale = 1;
+  std::size_t requests = 0;  ///< scaled-trace arrivals per fleet leg
+  /// The routing trade, both directions reported: power-of-two wins on
+  /// queueing, consistent-hash affinity wins on residency warmth. At
+  /// least one must hold.
+  bool p2c_wins_queue_wait = false;
+  bool affinity_wins_warm_dispatch = false;
+  runtime::ClusterMeasurement affinity;
+  runtime::ClusterMeasurement p2c;
+  runtime::ClusterMeasurement spill;
+  runtime::ClusterMeasurement autoscaled;
+};
+
+void print_cluster_header() {
+  std::printf("%-34s %10s %9s %9s %6s %6s %6s %6s %9s %6s %9s\n",
+              "config", "stories/s", "p99 ms", "qw99 ms", "hit%", "shed",
+              "fair", "warm%", "mJ/inf", "act", "wall s");
+  mann::bench::print_rule(122);
+}
+
+void print_cluster_row(const runtime::ClusterMeasurement& m) {
+  const cluster::ClusterReport& r = m.report;
+  std::printf(
+      "%-34s %10.0f %9.3f %9.3f %5.1f%% %6llu %6.3f %5.1f%% %9.4f %6.2f "
+      "%9.3f\n",
+      m.config_name.c_str(), r.throughput_stories_per_second,
+      r.latency.p99_seconds * 1e3, r.queue_wait.p99_seconds * 1e3,
+      r.deadline_hit_rate * 100.0,
+      static_cast<unsigned long long>(r.router_shed), r.instance_fairness,
+      r.warm_dispatch_rate * 100.0, r.energy.per_inference_joules * 1e3,
+      r.mean_active_instances, m.host_wall_seconds);
+}
+
+/// One fleet leg of the cluster JSON block (all simulated quantities).
+void write_cluster_leg(std::FILE* f, const char* key,
+                       const cluster::ClusterReport& r,
+                       bool trailing_comma) {
+  std::fprintf(f, "    \"%s\": {\n", key);
+  std::fprintf(f, "      \"completed\": %llu,\n",
+               static_cast<unsigned long long>(r.completed));
+  std::fprintf(f, "      \"rejected\": %llu,\n",
+               static_cast<unsigned long long>(r.rejected));
+  std::fprintf(f, "      \"router_shed\": %llu,\n",
+               static_cast<unsigned long long>(r.router_shed));
+  std::fprintf(f, "      \"makespan_cycles\": %llu,\n",
+               static_cast<unsigned long long>(r.makespan_cycles));
+  std::fprintf(f, "      \"p99_ms\": %.6f,\n", r.latency.p99_seconds * 1e3);
+  std::fprintf(f, "      \"queue_wait_p99_ms\": %.6f,\n",
+               r.queue_wait.p99_seconds * 1e3);
+  std::fprintf(f, "      \"deadline_hit_rate\": %.6f,\n",
+               r.deadline_hit_rate);
+  std::fprintf(f, "      \"instance_fairness\": %.6f,\n",
+               r.instance_fairness);
+  std::fprintf(f, "      \"warm_dispatch_rate\": %.6f,\n",
+               r.warm_dispatch_rate);
+  std::fprintf(f, "      \"model_uploads\": %llu,\n",
+               static_cast<unsigned long long>(r.model_uploads));
+  std::fprintf(f, "      \"energy_total_joules\": %.9f,\n",
+               r.energy.total_joules);
+  std::fprintf(f, "      \"energy_per_inference_joules\": %.9f,\n",
+               r.energy.per_inference_joules);
+  std::fprintf(f, "      \"mean_active_instances\": %.6f,\n",
+               r.mean_active_instances);
+  std::fprintf(f, "      \"scale_ups\": %zu,\n", r.scale_ups);
+  std::fprintf(f, "      \"scale_downs\": %zu\n", r.scale_downs);
+  std::fprintf(f, "    }%s\n", trailing_comma ? "," : "");
 }
 
 /// Outcome of the optional sweep-8 trace export (--trace PATH).
@@ -422,7 +501,8 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
                 bool identical, const serve::ServingReport& qos_edf,
                 const serve::ServingReport& qos_wfq,
                 bool qos_worker_identical, const TraceExport& trace,
-                const PersistentCacheInfo& persist) {
+                const PersistentCacheInfo& persist,
+                const ClusterSweep& cluster_sweep) {
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
@@ -433,7 +513,7 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
   const serve::ServingReport& r = opts.parallel ? parallel : sequential;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"serve_throughput\",\n");
-  std::fprintf(f, "  \"schema\": 4,\n");
+  std::fprintf(f, "  \"schema\": 5,\n");
   std::fprintf(f, "  \"affinity\": %s,\n", opts.affinity ? "true" : "false");
   std::fprintf(f, "  \"suite_source\": \"%s\",\n", suite_source.c_str());
   std::fprintf(f, "  \"tasks\": %zu,\n", opts.tasks);
@@ -498,6 +578,31 @@ void write_json(const BenchOptions& opts, const std::string& suite_source,
   std::fprintf(f, "    \"worker_identical\": %s\n",
                qos_worker_identical ? "true" : "false");
   std::fprintf(f, "  },\n");
+  if (cluster_sweep.ran) {
+    // The cluster sweep (sweep 9): everything here except the per-leg
+    // wall clocks is simulated, so CI gates the routing trade and the
+    // autoscaler's energy win directly on these numbers.
+    std::fprintf(f, "  \"cluster\": {\n");
+    std::fprintf(f, "    \"instances\": %zu,\n", cluster_sweep.instances);
+    std::fprintf(f, "    \"scale\": %zu,\n", cluster_sweep.scale);
+    std::fprintf(f, "    \"requests\": %zu,\n", cluster_sweep.requests);
+    std::fprintf(f, "    \"single_equivalent\": %s,\n",
+                 cluster_sweep.single_equivalent ? "true" : "false");
+    std::fprintf(f, "    \"p2c_wins_queue_wait\": %s,\n",
+                 cluster_sweep.p2c_wins_queue_wait ? "true" : "false");
+    std::fprintf(f, "    \"affinity_wins_warm_dispatch\": %s,\n",
+                 cluster_sweep.affinity_wins_warm_dispatch ? "true"
+                                                           : "false");
+    write_cluster_leg(f, "task_affinity", cluster_sweep.affinity.report,
+                      /*trailing_comma=*/true);
+    write_cluster_leg(f, "power_of_two", cluster_sweep.p2c.report,
+                      /*trailing_comma=*/true);
+    write_cluster_leg(f, "tenant_spill", cluster_sweep.spill.report,
+                      /*trailing_comma=*/true);
+    write_cluster_leg(f, "autoscaled", cluster_sweep.autoscaled.report,
+                      /*trailing_comma=*/false);
+    std::fprintf(f, "  },\n");
+  }
   std::fprintf(f, "  \"host\": {\n");
   std::fprintf(f, "    \"sequential_wall_seconds\": %.6f%s\n",
                sequential.host_wall_seconds,
@@ -999,11 +1104,151 @@ int main(int argc, char** argv) {
                                                              : "FAIL");
   }
 
+  // Optional cluster sweep: the mann::cluster routing tier over N
+  // deterministic instances. The identity leg replays the trace at 1x
+  // against a bare Server; the fleet legs serve the --cluster-scale'd
+  // trace under each router policy, and the autoscaled fleet must beat
+  // the fixed one on J/inference by parking through the diurnal trough.
+  ClusterSweep cluster_sweep;
+  bool cluster_ok = true;
+  if (!opts.cluster_trace_path.empty()) {
+    bench::print_header(
+        "Serving sweep 9: mann::cluster — routing tier over 4 instances "
+        "(diurnal trace, fixed vs autoscaled fleet, N=8 devices each)");
+    std::vector<serve::TraceEntry> cluster_trace;
+    try {
+      cluster_trace = serve::load_trace_csv(opts.cluster_trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    if (cluster_trace.empty()) {
+      std::fprintf(stderr,
+                   "--cluster-trace %s: trace has no entries; nothing to "
+                   "route\n",
+                   opts.cluster_trace_path.c_str());
+      return 2;
+    }
+    serve::TenantId max_tenant = 0;
+    for (serve::TraceEntry& entry : cluster_trace) {
+      entry.task %= tasks.size();
+      max_tenant = std::max(max_tenant, entry.tenant);
+    }
+
+    // Per-instance pools sized so the fleet's capacity sits between the
+    // diurnal trough and peak rates at 10x volume: the peak queues, the
+    // trough idles — exactly the regime where parking instances pays.
+    runtime::ServingOptions cluster_load = base;
+    cluster_load.pool_devices = 8;  // per instance: the fleet has 4x this
+    cluster_load.process = serve::ArrivalProcess::kTrace;
+    cluster_load.slo_per_task = mixed_slos(tasks.size());
+    if (max_tenant > 0) {
+      cluster_load.tenants.assign(max_tenant + 1, serve::TenantConfig{});
+    }
+
+    // Identity leg (1x trace): a cluster of one IS the bare Server.
+    cluster_load.trace = cluster_trace;
+    cluster_load.requests = cluster_trace.size();
+    const runtime::ServingMeasurement bare =
+        runtime::measure_serving(tasks, cluster_load);
+    runtime::ClusterServingOptions single;
+    single.instances = 1;
+    single.router.kind = cluster::RouterPolicyKind::kPowerOfTwo;
+    const runtime::ClusterMeasurement one =
+        runtime::measure_cluster(tasks, cluster_load, single);
+    cluster_sweep.single_equivalent =
+        one.report.instance_reports.size() == 1 &&
+        simulated_reports_identical(bare.report,
+                                    one.report.instance_reports[0].report);
+
+    // Fleet legs on the amplified trace.
+    cluster_load.trace =
+        serve::scale_trace(cluster_trace, opts.cluster_scale, base.seed);
+    cluster_load.requests = cluster_load.trace.size();
+    cluster_sweep.ran = true;
+    cluster_sweep.scale = opts.cluster_scale;
+    cluster_sweep.requests = cluster_load.requests;
+    std::printf("# %zu-entry trace x%zu -> %zu fleet arrivals; "
+                "cluster-of-1 vs bare Server on 1x: %s\n",
+                cluster_trace.size(), opts.cluster_scale,
+                cluster_load.requests,
+                cluster_sweep.single_equivalent ? "identical" : "DIVERGED");
+    print_cluster_header();
+
+    runtime::ClusterServingOptions fleet;
+    fleet.instances = cluster_sweep.instances;
+    // Saturation threshold scaled to the 8-device pools: an instance is
+    // "full" near its peak-hour queue depth, not the default sized for
+    // the small test fleets.
+    fleet.router.spill_queue_threshold = 256;
+    fleet.router.kind = cluster::RouterPolicyKind::kTaskAffinity;
+    cluster_sweep.affinity =
+        runtime::measure_cluster(tasks, cluster_load, fleet);
+    print_cluster_row(cluster_sweep.affinity);
+    fleet.router.kind = cluster::RouterPolicyKind::kPowerOfTwo;
+    cluster_sweep.p2c = runtime::measure_cluster(tasks, cluster_load, fleet);
+    print_cluster_row(cluster_sweep.p2c);
+    fleet.router.kind = cluster::RouterPolicyKind::kTenantSpill;
+    cluster_sweep.spill =
+        runtime::measure_cluster(tasks, cluster_load, fleet);
+    print_cluster_row(cluster_sweep.spill);
+
+    // Autoscaled leg: thresholds derived from the trace itself so any
+    // replayed schedule self-calibrates — the epoch grid divides the
+    // span, and up/down bracket the mean arrivals per instance per epoch
+    // inside the diurnal envelope (peak ~1.5x mean, trough ~0.5x).
+    const sim::Cycle span = cluster_load.trace.back().arrival_cycle + 1;
+    constexpr std::size_t kEpochs = 16;
+    fleet.router.kind = cluster::RouterPolicyKind::kPowerOfTwo;
+    fleet.autoscaler.enabled = true;
+    fleet.autoscaler.epoch_cycles = std::max<sim::Cycle>(1, span / kEpochs);
+    const double mean_per_instance =
+        static_cast<double>(cluster_load.requests) /
+        static_cast<double>(kEpochs * fleet.instances);
+    fleet.autoscaler.up_arrivals_per_instance = 1.25 * mean_per_instance;
+    fleet.autoscaler.down_arrivals_per_instance = 0.75 * mean_per_instance;
+    fleet.autoscaler.cooldown_epochs = 0;
+    fleet.autoscaler.min_instances = 1;
+    cluster_sweep.autoscaled =
+        runtime::measure_cluster(tasks, cluster_load, fleet);
+    print_cluster_row(cluster_sweep.autoscaled);
+
+    const cluster::ClusterReport& aff = cluster_sweep.affinity.report;
+    const cluster::ClusterReport& p2c = cluster_sweep.p2c.report;
+    const cluster::ClusterReport& scaled = cluster_sweep.autoscaled.report;
+    cluster_sweep.p2c_wins_queue_wait =
+        p2c.queue_wait.p99_cycles <= aff.queue_wait.p99_cycles;
+    cluster_sweep.affinity_wins_warm_dispatch =
+        aff.warm_dispatch_rate >= p2c.warm_dispatch_rate;
+    const bool energy_ok = scaled.energy.per_inference_joules <
+                           p2c.energy.per_inference_joules;
+    std::printf(
+        "\nrouting trade: p2c qw99 %.3f ms vs affinity %.3f ms (p2c wins: "
+        "%s); affinity warm dispatch %.1f%% vs p2c %.1f%% (affinity wins: "
+        "%s)\nautoscaler: %.2f mean active instances (%zu down / %zu up) "
+        "-> %.4f mJ/inf vs fixed %.4f mJ/inf (must shrink)\n",
+        p2c.queue_wait.p99_seconds * 1e3, aff.queue_wait.p99_seconds * 1e3,
+        cluster_sweep.p2c_wins_queue_wait ? "yes" : "no",
+        aff.warm_dispatch_rate * 100.0, p2c.warm_dispatch_rate * 100.0,
+        cluster_sweep.affinity_wins_warm_dispatch ? "yes" : "no",
+        scaled.mean_active_instances, scaled.scale_downs, scaled.scale_ups,
+        scaled.energy.per_inference_joules * 1e3,
+        p2c.energy.per_inference_joules * 1e3);
+    cluster_ok = cluster_sweep.single_equivalent &&
+                 (cluster_sweep.p2c_wins_queue_wait ||
+                  cluster_sweep.affinity_wins_warm_dispatch) &&
+                 energy_ok;
+    std::printf("cluster check (cluster-of-1 identical, routing trade "
+                "holds in at least one direction, autoscaled J/inf < "
+                "fixed): %s\n",
+                cluster_ok ? "PASS" : "FAIL");
+  }
+
   if (!opts.json_path.empty()) {
     write_json(opts, suite_source, accept, sequential.report,
                parallel.report, wall_speedup, identical, qos_edf.report,
                qos_wfq.report, qos_worker_identical, trace_export,
-               persist);
+               persist, cluster_sweep);
   }
 
   std::printf(
@@ -1016,11 +1261,14 @@ int main(int argc, char** argv) {
       "worker-count invariant (sweep 5); workers + cache move only the "
       "wall column (sweep 6);\nadmission + WFQ shield conforming "
       "tenants from an adversarial flood (sweep 7); tracing\nchanges no "
-      "simulated outcome and costs <5%% wall (sweep 8, with --trace).\n");
+      "simulated outcome and costs <5%% wall (sweep 8, with --trace); a "
+      "cluster-of-1 is the bare\nServer bit-for-bit and the autoscaled "
+      "fleet wins the trough's idle watts (sweep 9, with\n"
+      "--cluster-trace).\n");
   const bool trace_export_ok =
       trace_export.identical && trace_export.wrote;
   return scaling_ok && policy_ok && trace_ok && parallel_ok && qos_ok &&
-                 trace_export_ok
+                 trace_export_ok && cluster_ok
              ? 0
              : 1;
 }

@@ -30,6 +30,15 @@ Fails (exit 1) when:
     the baseline's — the signature of a speculation/placement
     regression, and near-deterministic because the lookup keys are
     simulated state,
+  * the cluster sweep (schema >= 5) broke its contract: the cluster-of-1
+    run diverged from the bare Server, the routing trade holds in
+    neither direction (power-of-two must win p99 queue wait or
+    consistent-hash affinity must win warm-dispatch rate), the
+    power-of-two leg's Jain fairness fell below the floor, the
+    autoscaled fleet stopped beating the fixed one on J/inference, or
+    any simulated cluster count drifted from the baseline (the whole
+    block is deterministic, so drift means the routing or lockstep
+    changed),
   * any field this script gates on is missing from either file. A
     missing host block used to read as zeros via .get() defaults and
     silently passed; now it fails loudly with the field name.
@@ -47,6 +56,10 @@ import sys
 
 # Cycle-cache hit rate may drop at most this much (absolute) vs baseline.
 HIT_RATE_DROP_LIMIT = 0.10
+
+# The power-of-two-choices leg exists to balance load; its Jain fairness
+# over per-instance completed counts must stay near-perfect.
+P2C_FAIRNESS_FLOOR = 0.95
 
 
 def load(path):
@@ -251,6 +264,87 @@ def main():
             print(f"persistent cache: loaded {persist.get('loaded', 0)}, "
                   f"saved {persist.get('saved', 0)} "
                   f"[{'warm' if persist.get('loaded', 0) else 'cold'} run]")
+    # Cluster routing-tier gates (schema >= 5): every number in the
+    # block is simulated, so these are contract checks, not budgets.
+    if current.get("schema", 0) >= 5:
+        cluster = current.get("cluster")
+        if cluster is None:
+            failures.append(
+                "cluster block missing from a schema-5 run — the perf job "
+                "must pass --cluster-trace to serve_throughput")
+        else:
+            if require(cluster, "single_equivalent", "cluster",
+                       failures) is False:
+                failures.append(
+                    "cluster-of-1 diverged from the bare Server — the "
+                    "lockstep/routing tier changed the simulated timeline")
+            p2c_wins = require(cluster, "p2c_wins_queue_wait", "cluster",
+                               failures)
+            aff_wins = require(cluster, "affinity_wins_warm_dispatch",
+                               "cluster", failures)
+            if None not in (p2c_wins, aff_wins):
+                print(f"cluster routing trade: p2c wins queue wait: "
+                      f"{p2c_wins}; affinity wins warm dispatch: {aff_wins}")
+                if not (p2c_wins or aff_wins):
+                    failures.append(
+                        "cluster routing trade holds in neither direction "
+                        "(p2c lost p99 queue wait AND affinity lost "
+                        "warm-dispatch rate)")
+            p2c = cluster.get("power_of_two")
+            autoscaled = cluster.get("autoscaled")
+            if p2c is None or autoscaled is None:
+                failures.append("cluster.power_of_two / cluster.autoscaled "
+                                "leg missing")
+            else:
+                fairness = require(p2c, "instance_fairness",
+                                   "cluster.power_of_two", failures)
+                if fairness is not None:
+                    print(f"cluster p2c fairness: {fairness:.4f} "
+                          f"(floor {P2C_FAIRNESS_FLOOR})")
+                    if fairness < P2C_FAIRNESS_FLOOR:
+                        failures.append(
+                            f"power-of-two instance fairness {fairness:.4f} "
+                            f"below the {P2C_FAIRNESS_FLOOR} floor")
+                fixed_j = require(p2c, "energy_per_inference_joules",
+                                  "cluster.power_of_two", failures)
+                scaled_j = require(autoscaled, "energy_per_inference_joules",
+                                   "cluster.autoscaled", failures)
+                downs = require(autoscaled, "scale_downs",
+                                "cluster.autoscaled", failures)
+                if None not in (fixed_j, scaled_j, downs):
+                    print(f"cluster energy: autoscaled "
+                          f"{scaled_j * 1e3:.4f} mJ/inf vs fixed "
+                          f"{fixed_j * 1e3:.4f} mJ/inf "
+                          f"({downs} scale-downs)")
+                    if scaled_j >= fixed_j:
+                        failures.append(
+                            "autoscaled fleet no longer beats the fixed "
+                            "fleet on energy per inference")
+                    if downs < 1:
+                        failures.append(
+                            "autoscaler never parked an instance on the "
+                            "diurnal trace — the trough detection broke")
+            # Cross-run determinism: the simulated counts must replay
+            # bit-for-bit against the baseline's cluster block.
+            base_cluster = baseline.get("cluster")
+            if base_cluster is None:
+                failures.append("baseline cluster block missing — "
+                                "regenerate with "
+                                "scripts/update_bench_baseline.sh")
+            else:
+                for leg in ("task_affinity", "power_of_two", "tenant_spill",
+                            "autoscaled"):
+                    for field in ("completed", "router_shed",
+                                  "makespan_cycles", "scale_downs"):
+                        cur_v = cluster.get(leg, {}).get(field)
+                        base_v = base_cluster.get(leg, {}).get(field)
+                        if cur_v != base_v:
+                            failures.append(
+                                f"cluster.{leg}.{field} drifted from the "
+                                f"baseline: {cur_v!r} vs {base_v!r} — "
+                                f"simulated routing is no longer "
+                                f"deterministic across runs")
+
     # The obs trace-export leg (--trace): wall overhead is machine noise,
     # but simulated identity under tracing is deterministic and gates.
     trace = host.get("trace")

@@ -18,6 +18,11 @@ Then reports:
     "speculate" spans by outcome, misses broken down per task),
   * per-tenant queue-wait histograms (--tenant-histograms, or always
     when the trace names more than one tenant),
+  * per-instance routing (cluster traces only): requests routed and
+    queue-wait percentiles per server instance, joined from the router's
+    "route" instants (tid = 300 + instance, args.id = request id) to the
+    request lifecycle spans — and exits 1 if a routed request has no
+    lifecycle span at all (a router/instance bookkeeping bug),
   * the embedded mannMetrics counters/histograms when present.
 
 Stdlib only; no third-party imports.
@@ -192,6 +197,66 @@ def print_tenant_queue_waits(spans, force):
             print(line)
 
 
+INSTANCE_TID_BASE = 300  # obs::kTrackInstanceBase: route lane per instance
+
+
+def print_instances(events, spans):
+    """Cluster router attribution; returns the number of lost requests.
+
+    Routing decisions are "route" instants on a per-instance lane
+    carrying the assigned request id. Joining on that id (never on
+    ordering — post-drain flushes legitimately reach back in time) gives
+    per-instance routed counts and queue-wait spreads. A route whose id
+    has no "request" lifecycle span was dropped between router and
+    instance, which the simulation never does — report and fail.
+    """
+    routes = []
+    for e in events:
+        if e.get("ph") != "i" or e.get("name") != "route":
+            continue
+        tid = e.get("tid", 0)
+        if tid < INSTANCE_TID_BASE:
+            continue
+        routes.append((tid - INSTANCE_TID_BASE, e.get("args", {}).get("id")))
+    if not routes:
+        return 0  # bare-server trace: no cluster section
+    counts = collections.Counter()
+    waits = collections.defaultdict(list)
+    lost = []
+    for instance, rid in routes:
+        counts[instance] += 1
+        if rid is None or ("request", rid) not in spans:
+            lost.append((instance, rid))
+            continue
+        queued = spans.get(("queued", rid))
+        if queued is not None:
+            begin, end = queued
+            waits[instance].append((end["ts"] - begin["ts"]) / 1e3)
+    router_sheds = sum(
+        1 for e in events
+        if e.get("ph") == "i" and e.get("name") == "router_shed")
+    print("\nper-instance routing (cluster):")
+    print(f"  {'instance':<9} {'routed':>7} {'queued':>7} {'qw mean':>9} "
+          f"{'qw p50':>9} {'qw p99':>9} {'qw max':>9}")
+    for instance in sorted(counts):
+        values = sorted(waits.get(instance, []))
+        if not values:
+            print(f"  {instance:<9} {counts[instance]:>7} {0:>7}")
+            continue
+        mean = sum(values) / len(values)
+        print(f"  {instance:<9} {counts[instance]:>7} {len(values):>7} "
+              f"{mean:>9.3f} {percentile(values, 0.50):>9.3f} "
+              f"{percentile(values, 0.99):>9.3f} {values[-1]:>9.3f}")
+    if router_sheds:
+        print(f"  router sheds: {router_sheds}")
+    for instance, rid in lost[:20]:
+        print(f"FAIL: request {rid} routed to instance {instance} but has "
+              f"no lifecycle span", file=sys.stderr)
+    if len(lost) > 20:
+        print(f"FAIL: ... and {len(lost) - 20} more", file=sys.stderr)
+    return len(lost)
+
+
 def print_metrics(top):
     metrics = top.get("mannMetrics")
     if not metrics:
@@ -251,8 +316,9 @@ def main():
     print_sheds(events)
     print_cache_attribution(events)
     print_tenant_queue_waits(spans, args.tenant_histograms)
+    lost = print_instances(events, spans)
     print_metrics(top)
-    return 0
+    return 1 if lost else 0
 
 
 if __name__ == "__main__":

@@ -24,10 +24,14 @@ cmake --build "${build_dir}" -j "$(nproc)" --target serve_throughput
 # --cache-dir: the baseline must stay COLD. CI gates its warm
 # (persistent-cache) run against this file, and a warm run's ~100%
 # cycle-cache hit rate only has headroom against the 10-point drop
-# limit if the baseline records the cold hit rate.
+# limit if the baseline records the cold hit rate. The cluster sweep
+# flags must match CI's too: the schema-5 cluster block is compared
+# count-for-count against this baseline.
 "${build_dir}/bench/serve_throughput" \
   --tasks 20 --requests 4000 --wall-gate off \
   --replay bench/traces/sample_diurnal.csv \
+  --cluster-trace bench/traces/sample_diurnal.csv \
+  --cluster-scale 10 \
   --json bench/BENCH_serve_baseline.json \
   --policies-json /dev/null
 

@@ -1,0 +1,57 @@
+#include "cluster/autoscaler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mann::cluster {
+
+Autoscaler::Autoscaler(const AutoscalerConfig& config, std::size_t fleet_size)
+    : config_(config), fleet_size_(fleet_size) {
+  if (config_.epoch_cycles == 0) {
+    throw std::invalid_argument("Autoscaler: epoch_cycles must be > 0");
+  }
+  if (config_.max_instances == 0 || config_.max_instances > fleet_size_) {
+    config_.max_instances = fleet_size_;
+  }
+  config_.min_instances =
+      std::clamp<std::size_t>(config_.min_instances, 1, config_.max_instances);
+  epoch_end_ = config_.epoch_cycles;
+}
+
+std::optional<std::size_t> Autoscaler::observe(sim::Cycle cycle,
+                                               std::size_t active) {
+  if (!config_.enabled) {
+    return std::nullopt;
+  }
+  std::optional<std::size_t> target;
+  // Close every epoch the clock has passed. Empty trailing epochs (no
+  // arrivals at all) can only push the count down, which is the desired
+  // trough behaviour; decisions still apply at most one step per closed
+  // epoch and respect the cooldown.
+  while (cycle >= epoch_end_) {
+    const double per =
+        static_cast<double>(epoch_arrivals_) /
+        static_cast<double>(std::max<std::size_t>(1, active));
+    if (cooldown_left_ > 0) {
+      --cooldown_left_;
+    } else if (per > config_.up_arrivals_per_instance &&
+               active < config_.max_instances) {
+      ++active;
+      ++scale_ups_;
+      target = active;
+      cooldown_left_ = config_.cooldown_epochs;
+    } else if (per < config_.down_arrivals_per_instance &&
+               active > config_.min_instances) {
+      --active;
+      ++scale_downs_;
+      target = active;
+      cooldown_left_ = config_.cooldown_epochs;
+    }
+    epoch_arrivals_ = 0;
+    epoch_end_ += config_.epoch_cycles;
+  }
+  ++epoch_arrivals_;
+  return target;
+}
+
+}  // namespace mann::cluster

@@ -1,0 +1,72 @@
+// Diurnal autoscaling: how many instances should be serving right now?
+//
+// The Autoscaler watches offered load — every arrival the cluster routes
+// is observed with its simulated cycle — and at fixed epoch boundaries
+// decides a target active-instance count. The rule is deliberately
+// simple and fully deterministic (a pure function of the arrival
+// schedule, so reports are bit-identical for any worker count):
+//
+//   per = arrivals in the closed epoch / active instances
+//   per > up_arrivals_per_instance   and active < max  ->  active + 1
+//   per < down_arrivals_per_instance and active > min  ->  active - 1
+//
+// One step per epoch, with a cooldown between decisions so a single
+// burst cannot thrash the fleet. The point of scaling *down* is energy:
+// a parked instance stops accruing static + clock-tree watts in the
+// cluster's fleet-energy accounting (cluster.hpp), so tracking the
+// diurnal trough with a smaller active set is exactly what wins the
+// J/inference comparison against a fixed fleet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "sim/types.hpp"
+
+namespace mann::cluster {
+
+struct AutoscalerConfig {
+  bool enabled = false;
+  std::size_t min_instances = 1;
+  /// 0 = the fleet size.
+  std::size_t max_instances = 0;
+  /// Decision cadence in simulated cycles.
+  sim::Cycle epoch_cycles = 1'000'000;
+  /// Scale up when the closed epoch offered more than this per active
+  /// instance...
+  double up_arrivals_per_instance = 400.0;
+  /// ...and down when it offered less than this.
+  double down_arrivals_per_instance = 150.0;
+  /// Epochs to hold after any decision before the next one.
+  std::size_t cooldown_epochs = 1;
+};
+
+class Autoscaler {
+ public:
+  Autoscaler(const AutoscalerConfig& config, std::size_t fleet_size);
+
+  /// Observes one arrival at `cycle` with `active` instances currently
+  /// serving. Returns the new target active count when one or more epoch
+  /// boundaries were crossed and the rule fired; nullopt otherwise.
+  /// Cycles must be non-decreasing (they are arrival cycles).
+  [[nodiscard]] std::optional<std::size_t> observe(sim::Cycle cycle,
+                                                   std::size_t active);
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+  [[nodiscard]] std::size_t scale_ups() const noexcept { return scale_ups_; }
+  [[nodiscard]] std::size_t scale_downs() const noexcept {
+    return scale_downs_;
+  }
+
+ private:
+  AutoscalerConfig config_;
+  std::size_t fleet_size_;
+  sim::Cycle epoch_end_;
+  std::uint64_t epoch_arrivals_ = 0;
+  std::size_t cooldown_left_ = 0;
+  std::size_t scale_ups_ = 0;
+  std::size_t scale_downs_ = 0;
+};
+
+}  // namespace mann::cluster

@@ -1,0 +1,499 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "serve/request.hpp"
+
+namespace mann::cluster {
+
+namespace {
+
+/// Instances get disjoint request-id ranges: instance i owns
+/// [i * kIdStride, (i+1) * kIdStride). Instance 0 keeps the 0-based
+/// range, so a cluster-of-1 numbers requests exactly like a bare server.
+constexpr serve::RequestId kIdStride = serve::RequestId{1} << 40;
+
+/// Exact percentile over an unsorted sample set (sorts in place).
+/// Nearest-rank, matching trace_summary.py's convention.
+[[nodiscard]] double percentile(std::vector<double>& values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const auto rank = std::min(
+      values.size() - 1, static_cast<std::size_t>(
+                             q * static_cast<double>(values.size())));
+  return values[rank];
+}
+
+[[nodiscard]] serve::LatencySummary summarize(std::vector<double> samples,
+                                              double clock_hz) {
+  serve::LatencySummary s;
+  if (samples.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  for (const double v : samples) {
+    sum += v;
+  }
+  s.mean_cycles = sum / static_cast<double>(samples.size());
+  s.p50_cycles = percentile(samples, 0.50);
+  s.p95_cycles = percentile(samples, 0.95);
+  s.p99_cycles = percentile(samples, 0.99);
+  s.max_cycles = samples.back();
+  s.mean_seconds = s.mean_cycles / clock_hz;
+  s.p50_seconds = s.p50_cycles / clock_hz;
+  s.p95_seconds = s.p95_cycles / clock_hz;
+  s.p99_seconds = s.p99_cycles / clock_hz;
+  s.max_seconds = s.max_cycles / clock_hz;
+  return s;
+}
+
+/// Jain's fairness index over per-instance completed counts.
+[[nodiscard]] double jain_index(const std::vector<InstanceReport>& reports) {
+  if (reports.size() < 2) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const InstanceReport& r : reports) {
+    const auto x = static_cast<double>(r.report.completed);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(reports.size()) * sum_sq);
+}
+
+}  // namespace
+
+/// One fleet slot: the session plus its routing/energy bookkeeping.
+struct Cluster::Instance {
+  std::unique_ptr<serve::ServerSession> session;
+  std::uint64_t routed = 0;
+  bool active = true;
+  /// Parked by the autoscaler but not yet observed idle — still burning
+  /// watts while it drains.
+  bool pending_park = false;
+  sim::Cycle active_since = 0;
+  sim::Cycle active_cycles = 0;  ///< closed windows only
+};
+
+Cluster::Cluster(ClusterConfig config,
+                 const std::vector<serve::ServedModel>& models)
+    : config_(std::move(config)),
+      policy_(make_router_policy(config_.router)),
+      autoscaler_(config_.autoscaler, std::max<std::size_t>(
+                                          1, config_.instances)) {
+  if (config_.instances == 0) {
+    throw std::invalid_argument("Cluster: needs at least one instance");
+  }
+  instances_.reserve(config_.instances);
+  for (std::size_t i = 0; i < config_.instances; ++i) {
+    serve::SessionOptions options;
+    options.total_requests = 0;  // arrivals come through the router
+    options.auto_drain = false;
+    options.collect_completions = true;
+    options.first_id = static_cast<serve::RequestId>(i) * kIdStride;
+    auto instance = std::make_unique<Instance>();
+    instance->session = std::make_unique<serve::ServerSession>(
+        config_.server, models, options);
+    instances_.push_back(std::move(instance));
+  }
+  workloads_.reserve(models.size());
+  for (std::size_t t = 0; t < models.size(); ++t) {
+    workloads_.push_back({t, models[t].stories});
+  }
+  policy_->set_topology(active_set());
+}
+
+Cluster::~Cluster() = default;
+
+std::vector<InstanceId> Cluster::active_set() const {
+  std::vector<InstanceId> active;
+  active.reserve(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i]->active) {
+      active.push_back(i);
+    }
+  }
+  return active;
+}
+
+std::size_t Cluster::active_instances() const noexcept {
+  std::size_t n = 0;
+  for (const auto& instance : instances_) {
+    n += instance->active ? 1 : 0;
+  }
+  return n;
+}
+
+std::vector<InstanceStatus> Cluster::statuses() const {
+  std::vector<InstanceStatus> status;
+  status.reserve(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    const serve::SessionInfo info = instances_[i]->session->info();
+    InstanceStatus s;
+    s.id = i;
+    s.active = instances_[i]->active;
+    s.queue_depth =
+        info.batcher_pending + info.scheduler_pending + info.in_flight;
+    s.pending_cost_cycles = instances_[i]->session->pending_cost_cycles();
+    status.push_back(s);
+  }
+  return status;
+}
+
+void Cluster::settle_parked(sim::Cycle cycle) {
+  for (auto& instance : instances_) {
+    if (instance->pending_park && instance->session->idle()) {
+      if (cycle > instance->active_since) {
+        instance->active_cycles += cycle - instance->active_since;
+      }
+      instance->pending_park = false;
+    }
+  }
+}
+
+void Cluster::apply_target_active(std::size_t target, sim::Cycle cycle) {
+  obs::TraceRecorder* trace = config_.server.trace;
+  bool changed = false;
+  // Scale up: wake the lowest-id parked instance (its model residency and
+  // cycle caches survive parking — a warm restart).
+  for (std::size_t i = 0;
+       active_instances() < target && i < instances_.size(); ++i) {
+    Instance& instance = *instances_[i];
+    if (instance.active) {
+      continue;
+    }
+    instance.active = true;
+    if (instance.pending_park) {
+      instance.pending_park = false;  // window never closed; keep it open
+    } else {
+      instance.active_since = cycle;
+    }
+    changed = true;
+    if (trace != nullptr) {
+      trace->instant(obs::Domain::kSim, obs::kTrackRouter, "scale", cycle,
+                     "up", static_cast<std::int64_t>(i));
+    }
+  }
+  // Scale down: park the highest-id active instance; it drains what it
+  // holds and its active window closes when it is observed idle.
+  for (std::size_t i = instances_.size();
+       active_instances() > target && i > 0; --i) {
+    Instance& instance = *instances_[i - 1];
+    if (!instance.active) {
+      continue;
+    }
+    instance.active = false;
+    instance.pending_park = true;
+    changed = true;
+    if (trace != nullptr) {
+      trace->instant(obs::Domain::kSim, obs::kTrackRouter, "scale", cycle,
+                     "down", static_cast<std::int64_t>(i - 1));
+    }
+  }
+  if (changed) {
+    policy_->set_topology(active_set());
+  }
+}
+
+Cluster::Submission Cluster::submit(const serve::SubmitRequest& request) {
+  if (finalized_) {
+    throw std::logic_error("Cluster: submit after finalize()");
+  }
+  const sim::Cycle at =
+      std::max({request.at_cycle, clock_, last_arrival_});
+  if (const auto target = autoscaler_.observe(at, active_instances())) {
+    apply_target_active(*target, at);
+  }
+  ++offered_;
+  RouteRequest route{request.task, request.tenant, at};
+  const std::optional<InstanceId> choice = policy_->route(route, statuses());
+  obs::TraceRecorder* trace = config_.server.trace;
+  if (!choice) {
+    ++router_shed_;
+    if (trace != nullptr) {
+      trace->instant(obs::Domain::kSim, obs::kTrackRouter, "router_shed", at,
+                     policy_->name(),
+                     static_cast<std::int64_t>(request.task),
+                     static_cast<std::int64_t>(request.tenant));
+    }
+    return {std::nullopt, 0};
+  }
+  Instance& instance = *instances_[*choice];
+  serve::SubmitRequest forwarded = request;
+  forwarded.at_cycle = at;
+  const serve::RequestId id = instance.session->submit(forwarded);
+  ++instance.routed;
+  last_arrival_ = at;
+  if (trace != nullptr) {
+    trace->instant(obs::Domain::kSim,
+                   obs::kTrackInstanceBase +
+                       static_cast<std::uint32_t>(*choice),
+                   "route", at, policy_->name(),
+                   static_cast<std::int64_t>(request.task),
+                   static_cast<std::int64_t>(request.tenant), id);
+  }
+  return {choice, id};
+}
+
+bool Cluster::step_until(sim::Cycle limit) {
+  bool quiescent = true;
+  sim::Cycle reached = limit;
+  for (auto& instance : instances_) {
+    quiescent = instance->session->step_until(limit) && quiescent;
+    if (limit == sim::kNever) {
+      reached = std::max(reached == sim::kNever ? 0 : reached,
+                         instance->session->now());
+    }
+  }
+  clock_ = std::max(clock_, reached == sim::kNever ? clock_ : reached);
+  settle_parked(clock_);
+  return quiescent;
+}
+
+void Cluster::drain() {
+  for (auto& instance : instances_) {
+    instance->session->drain();
+  }
+}
+
+std::vector<ClusterCompletion> Cluster::poll_completions() {
+  std::vector<ClusterCompletion> merged;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    for (serve::Completion& completion :
+         instances_[i]->session->poll_completions()) {
+      if (serve::outcome_is_completion(completion.outcome)) {
+        latency_samples_.push_back(static_cast<double>(
+            completion.response.latency_cycles()));
+        queue_wait_samples_.push_back(static_cast<double>(
+            completion.response.queue_cycles()));
+      }
+      merged.push_back({i, std::move(completion)});
+    }
+  }
+  // Per-instance windows are already (cycle, id)-sorted; one global sort
+  // interleaves the fleet deterministically (ids are disjoint, so the
+  // (cycle, id) key is unique).
+  std::sort(merged.begin(), merged.end(),
+            [](const ClusterCompletion& a, const ClusterCompletion& b) {
+              if (a.completion.cycle != b.completion.cycle) {
+                return a.completion.cycle < b.completion.cycle;
+              }
+              return a.completion.response.id < b.completion.response.id;
+            });
+  return merged;
+}
+
+ClusterReport Cluster::finalize() {
+  if (finalized_) {
+    throw std::logic_error("Cluster: finalize() called twice");
+  }
+  drain();
+  step_until(sim::kNever);
+  (void)poll_completions();  // fold the tail into the percentile samples
+  finalized_ = true;
+  std::vector<serve::ServingReport> reports;
+  reports.reserve(instances_.size());
+  sim::Cycle fleet_makespan = 0;
+  for (auto& instance : instances_) {
+    reports.push_back(instance->session->finalize());
+    fleet_makespan = std::max(fleet_makespan, reports.back().makespan_cycles);
+  }
+  // Close the remaining active windows: the fleet is powered until its
+  // last completion (an idle-but-active instance is the fixed fleet's
+  // whole energy problem).
+  for (auto& instance : instances_) {
+    if (instance->active || instance->pending_park) {
+      if (fleet_makespan > instance->active_since) {
+        instance->active_cycles += fleet_makespan - instance->active_since;
+      }
+      instance->pending_park = false;
+    }
+  }
+  return aggregate(std::move(reports), fleet_makespan);
+}
+
+ClusterReport Cluster::aggregate(std::vector<serve::ServingReport> reports,
+                                 sim::Cycle fleet_makespan) {
+  const double clock_hz = config_.server.accel.clock_hz;
+  ClusterReport out;
+  out.instances = instances_.size();
+  out.policy = policy_->name();
+  out.offered = offered_;
+  out.router_shed = router_shed_;
+  out.makespan_cycles = fleet_makespan;
+  out.seconds = static_cast<double>(fleet_makespan) / clock_hz;
+  out.scale_ups = autoscaler_.scale_ups();
+  out.scale_downs = autoscaler_.scale_downs();
+
+  std::uint64_t batches_out = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_lookups = 0;
+  sim::Cycle active_cycle_sum = 0;
+  const double device_watts =
+      config_.server.power.static_watts +
+      config_.server.power.clock_watts_per_hz * clock_hz;
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    serve::ServingReport& report = reports[i];
+    out.completed += report.completed;
+    out.rejected += report.rejected;
+    out.deadline_total += report.deadline_total;
+    out.deadline_missed += report.deadline_missed;
+    out.model_uploads += report.model_uploads;
+    batches_out += report.batching.batches_out;
+    cache_hits += report.cycle_cache.hits;
+    cache_lookups += report.cycle_cache.hits + report.cycle_cache.waits +
+                     report.cycle_cache.misses;
+    active_cycle_sum += instances_[i]->active_cycles;
+
+    out.energy.dynamic_joules += report.energy.dynamic_joules;
+    out.energy.link_joules += report.energy.link_joules;
+    const double active_seconds =
+        static_cast<double>(instances_[i]->active_cycles) / clock_hz;
+    out.energy.static_joules +=
+        device_watts * active_seconds *
+        static_cast<double>(report.devices.size());
+
+    InstanceReport slice;
+    slice.id = i;
+    slice.routed = instances_[i]->routed;
+    slice.active_cycles = instances_[i]->active_cycles;
+    slice.report = std::move(report);
+    out.instance_reports.push_back(std::move(slice));
+  }
+  out.energy.total_joules = out.energy.dynamic_joules +
+                            out.energy.link_joules +
+                            out.energy.static_joules;
+  if (out.seconds > 0.0) {
+    out.energy.mean_watts = out.energy.total_joules / out.seconds;
+    out.throughput_stories_per_second =
+        static_cast<double>(out.completed) / out.seconds;
+  }
+  if (out.completed > 0) {
+    out.energy.per_inference_joules =
+        out.energy.total_joules / static_cast<double>(out.completed);
+  }
+  out.deadline_hit_rate =
+      out.deadline_total == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(out.deadline_missed) /
+                      static_cast<double>(out.deadline_total);
+  out.instance_fairness = jain_index(out.instance_reports);
+  if (batches_out > 0) {
+    out.warm_dispatch_rate =
+        1.0 - static_cast<double>(out.model_uploads) /
+                  static_cast<double>(batches_out);
+  }
+  if (cache_lookups > 0) {
+    out.cycle_cache_hit_rate = static_cast<double>(cache_hits) /
+                               static_cast<double>(cache_lookups);
+  }
+  if (fleet_makespan > 0) {
+    out.mean_active_instances =
+        static_cast<double>(active_cycle_sum) /
+        static_cast<double>(fleet_makespan);
+  }
+  out.latency = summarize(std::move(latency_samples_), clock_hz);
+  out.queue_wait = summarize(std::move(queue_wait_samples_), clock_hz);
+  latency_samples_.clear();
+  queue_wait_samples_.clear();
+  return out;
+}
+
+ClusterReport Cluster::run(std::size_t total_requests) {
+  if (ran_ || finalized_) {
+    throw std::logic_error("Cluster: run() is single-shot");
+  }
+  ran_ = true;
+  // The cluster-level generator shares the sessions' workload table, so
+  // its arrival schedule, task/tenant draws and deadline stamps are
+  // exactly what a bare Server::run would have produced; the chosen
+  // instance re-draws the story from its own per-task cursor (which, for
+  // a cluster of 1, walks identically to the generator's).
+  serve::TrafficGenerator generator(config_.server.traffic, workloads_,
+                                    total_requests);
+  std::size_t since_poll = 0;
+  while (generator.next_arrival() != sim::kNever) {
+    const sim::Cycle at = generator.next_arrival();
+    // Lockstep: the whole fleet reaches the (exclusive) arrival horizon
+    // before the router looks at load — the decision sees every
+    // completion strictly before the arrival, exactly like a bare
+    // server's frontend does.
+    step_until(at);
+    const std::optional<serve::InferenceRequest> request =
+        generator.poll(at);
+    if (!request) {
+      break;  // defensive; next_arrival promised an emission
+    }
+    serve::SubmitRequest submit_request;
+    submit_request.task = request->task;
+    submit_request.tenant = request->tenant;
+    submit_request.at_cycle = request->enqueue_cycle;
+    submit_request.deadline_cycles =
+        request->deadline_cycle == sim::kNever
+            ? sim::kNever
+            : request->deadline_cycle - request->enqueue_cycle;
+    (void)submit(submit_request);
+    if (++since_poll >= 256) {
+      (void)poll_completions();
+      since_poll = 0;
+    }
+  }
+  return finalize();
+}
+
+void Cluster::set_tenant(serve::TenantId tenant,
+                         const serve::TenantConfig& config) {
+  for (auto& instance : instances_) {
+    instance->session->set_tenant(tenant, config);
+  }
+}
+
+void Cluster::set_slo(const serve::SloConfig& slo) {
+  for (auto& instance : instances_) {
+    instance->session->set_slo(slo);
+  }
+}
+
+bool Cluster::set_policy(serve::SchedulerPolicy policy) {
+  bool ok = true;
+  for (auto& instance : instances_) {
+    ok = instance->session->set_policy(policy) && ok;
+  }
+  return ok;
+}
+
+bool Cluster::idle() const {
+  for (const auto& instance : instances_) {
+    if (!instance->session->idle()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ClusterInfo Cluster::info() const {
+  ClusterInfo info;
+  info.instances = instances_.size();
+  info.active = active_instances();
+  info.offered = offered_;
+  info.router_shed = router_shed_;
+  info.cycle = clock_;
+  info.per_instance.reserve(instances_.size());
+  for (const auto& instance : instances_) {
+    info.per_instance.push_back(instance->session->info());
+  }
+  return info;
+}
+
+const char* Cluster::policy_name() const noexcept { return policy_->name(); }
+
+}  // namespace mann::cluster

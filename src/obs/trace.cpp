@@ -84,7 +84,7 @@ void TraceRecorder::end_async(const char* name, std::uint64_t id,
 void TraceRecorder::instant(Domain domain, std::uint32_t track,
                             const char* name, std::uint64_t ts,
                             const char* detail, std::int64_t task,
-                            std::int64_t tenant) {
+                            std::int64_t tenant, std::uint64_t id) {
   TraceEvent e;
   e.name = name;
   e.detail = detail;
@@ -94,6 +94,7 @@ void TraceRecorder::instant(Domain domain, std::uint32_t track,
   e.ts = ts;
   e.task = task;
   e.tenant = tenant;
+  e.id = id;
   record(e);
 }
 
@@ -201,6 +202,12 @@ void append_args(std::string& out, const TraceEvent& e) {
   field("tenant", e.tenant);
   field("batch", e.batch);
   field("deadline", e.deadline);
+  // Async phases already print the id at the top level; instants (the
+  // cluster router's routing decisions) carry it in args instead.
+  if (e.phase == Phase::kInstant && e.id != kNoId) {
+    append(out, "%s\"id\":%" PRIu64, first ? "" : ",", e.id);
+    first = false;
+  }
   if (e.detail != nullptr) {
     append(out, "%s\"detail\":\"%s\"", first ? "" : ",", e.detail);
     first = false;
@@ -233,8 +240,14 @@ void append_metadata(std::string& out, const std::vector<TraceEvent>& events) {
       name = "frontend";
     } else if (track == kTrackRequests) {
       name = "requests";
+    } else if (track == kTrackRouter) {
+      name = "router";
     } else if (track == kTrackDispatch) {
       name = "dispatch";
+    } else if (track >= kTrackInstanceBase && pid == 1) {
+      // Instance lanes are simulated-domain; host tids >= 200 stay
+      // workers (the bases overlap numerically, the pid disambiguates).
+      name = "instance " + std::to_string(track - kTrackInstanceBase);
     } else if (track >= kTrackWorkerBase) {
       name = "worker " + std::to_string(track - kTrackWorkerBase);
     } else if (track >= kTrackDeviceBase) {

@@ -64,7 +64,11 @@ enum class Phase : std::uint8_t {
 // Track ids (exported as tid). Simulated domain:
 inline constexpr std::uint32_t kTrackFrontend = 1;  ///< admission/sheds
 inline constexpr std::uint32_t kTrackRequests = 2;  ///< lifecycle spans
+inline constexpr std::uint32_t kTrackRouter = 3;    ///< cluster-level events
 inline constexpr std::uint32_t kTrackDeviceBase = 100;  ///< + slot id
+/// Cluster routing decisions land on a per-instance lane (+ instance id),
+/// so Perfetto shows which server instance each request was assigned to.
+inline constexpr std::uint32_t kTrackInstanceBase = 300;
 // Host domain:
 inline constexpr std::uint32_t kTrackDispatch = 199;  ///< cache outcomes
 inline constexpr std::uint32_t kTrackWorkerBase = 200;  ///< + worker index
@@ -106,9 +110,14 @@ class TraceRecorder {
   /// Closes it (matched by name + id).
   void end_async(const char* name, std::uint64_t id, std::uint64_t ts);
 
+  /// `id` ties a point event to a request (exported in args; kNoId =
+  /// absent) — the cluster router stamps its routing decisions with the
+  /// assigned request id so trace analysis can join them against the
+  /// lifecycle spans.
   void instant(Domain domain, std::uint32_t track, const char* name,
                std::uint64_t ts, const char* detail = nullptr,
-               std::int64_t task = -1, std::int64_t tenant = -1);
+               std::int64_t task = -1, std::int64_t tenant = -1,
+               std::uint64_t id = kNoId);
 
   void complete(Domain domain, std::uint32_t track, const char* name,
                 std::uint64_t ts, std::uint64_t dur,
@@ -167,8 +176,8 @@ class TraceRecorder {
                    std::int64_t = -1) const noexcept {}
   void end_async(const char*, std::uint64_t, std::uint64_t) const noexcept {}
   void instant(Domain, std::uint32_t, const char*, std::uint64_t,
-               const char* = nullptr, std::int64_t = -1,
-               std::int64_t = -1) const noexcept {}
+               const char* = nullptr, std::int64_t = -1, std::int64_t = -1,
+               std::uint64_t = kNoId) const noexcept {}
   void complete(Domain, std::uint32_t, const char*, std::uint64_t,
                 std::uint64_t, const char* = nullptr, std::int64_t = -1,
                 std::int64_t = -1, std::int64_t = -1) const noexcept {}

@@ -1,6 +1,7 @@
 #include "runtime/measurement.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 
@@ -202,12 +203,12 @@ MeasurementRow measure_fpga(const TaskArtifacts& artifacts,
   return row;
 }
 
-ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
-                                   const ServingOptions& options) {
-  if (suite.empty()) {
-    throw std::invalid_argument("measure_serving: empty suite");
-  }
+namespace {
 
+/// Compiles every suite task into the served-model registry (the same
+/// build for a bare Server and for every cluster instance).
+std::vector<serve::ServedModel> build_served_models(
+    const std::vector<TaskArtifacts>& suite, const ServingOptions& options) {
   std::vector<serve::ServedModel> models;
   models.reserve(suite.size());
   for (const TaskArtifacts& art : suite) {
@@ -217,7 +218,13 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
     model.stories = art.dataset.test;
     models.push_back(std::move(model));
   }
+  return models;
+}
 
+/// Lowers the harness-level ServingOptions into a full ServerConfig —
+/// shared by measure_serving (one server) and measure_cluster (the
+/// per-instance template).
+serve::ServerConfig build_server_config(const ServingOptions& options) {
   accel::AccelConfig accel;
   accel.clock_hz = options.clock_hz;
   accel.ith_enabled = options.ith;
@@ -250,18 +257,30 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
 
   // tenants()/slo()/policy() after traffic()/scheduler(): the block
   // setters replace their whole config, the granular ones just a slice.
-  const serve::Server server(serve::ServingOptions()
-                                 .accel(accel)
-                                 .traffic(std::move(traffic))
-                                 .admission(options.admission)
-                                 .batcher(batcher)
-                                 .scheduler(std::move(scheduler))
-                                 .tenants(options.tenants)
-                                 .slo(std::move(slo))
-                                 .policy(options.policy)
-                                 .metrics(options.metrics)
-                                 .trace_recorder(options.trace_recorder),
-                             std::move(models));
+  return serve::ServingOptions()
+      .accel(accel)
+      .traffic(std::move(traffic))
+      .admission(options.admission)
+      .batcher(batcher)
+      .scheduler(std::move(scheduler))
+      .tenants(options.tenants)
+      .slo(std::move(slo))
+      .policy(options.policy)
+      .metrics(options.metrics)
+      .trace_recorder(options.trace_recorder)
+      .build();
+}
+
+}  // namespace
+
+ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
+                                   const ServingOptions& options) {
+  if (suite.empty()) {
+    throw std::invalid_argument("measure_serving: empty suite");
+  }
+
+  const serve::Server server(build_server_config(options),
+                             build_served_models(suite, options));
 
   ServingMeasurement measurement;
   measurement.config_name =
@@ -282,6 +301,43 @@ ServingMeasurement measure_serving(const std::vector<TaskArtifacts>& suite,
     measurement.config_name += " +cache";
   }
   measurement.report = server.run(options.requests);
+  return measurement;
+}
+
+ClusterMeasurement measure_cluster(const std::vector<TaskArtifacts>& suite,
+                                   const ServingOptions& options,
+                                   const ClusterServingOptions& cluster_options) {
+  if (suite.empty()) {
+    throw std::invalid_argument("measure_cluster: empty suite");
+  }
+
+  // The registry outlives the fleet: instances hold references, each
+  // with its own device pool.
+  const std::vector<serve::ServedModel> models =
+      build_served_models(suite, options);
+
+  cluster::ClusterConfig config;
+  config.instances = cluster_options.instances;
+  config.server = build_server_config(options);
+  config.router = cluster_options.router;
+  config.autoscaler = cluster_options.autoscaler;
+
+  cluster::Cluster fleet(std::move(config), models);
+
+  ClusterMeasurement measurement;
+  measurement.config_name =
+      "cluster x" + std::to_string(cluster_options.instances) + " " +
+      cluster::router_policy_name(cluster_options.router.kind) +
+      " N=" + std::to_string(options.pool_devices) +
+      " B=" + std::to_string(options.max_batch) +
+      (cluster_options.autoscaler.enabled ? " +autoscale" : "") +
+      (options.workers > 0 ? " W=" + std::to_string(options.workers) : "");
+
+  const auto start = std::chrono::steady_clock::now();
+  measurement.report = fleet.run(options.requests);
+  measurement.host_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return measurement;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "cluster/cluster.hpp"
 #include "core/ith.hpp"
 #include "data/dataset.hpp"
 #include "model/memn2n.hpp"
@@ -160,5 +161,31 @@ struct ServingMeasurement {
 /// throughput, latency percentiles, utilization and serving accuracy.
 [[nodiscard]] ServingMeasurement measure_serving(
     const std::vector<TaskArtifacts>& suite, const ServingOptions& options);
+
+/// Fleet-level knobs layered on top of ServingOptions: the per-instance
+/// server template comes from the ServingOptions, these choose how many
+/// instances to stand up, how the router places arrivals, and whether
+/// the diurnal autoscaler is watching.
+struct ClusterServingOptions {
+  std::size_t instances = 4;
+  cluster::RouterConfig router;
+  cluster::AutoscalerConfig autoscaler;
+};
+
+/// One cluster row: the fleet report plus the host wall clock spent
+/// driving it (the ClusterReport itself is purely simulated).
+struct ClusterMeasurement {
+  std::string config_name;
+  double host_wall_seconds = 0.0;
+  cluster::ClusterReport report;
+};
+
+/// Runs the mann::cluster routing tier over the suite: N instances built
+/// from the same ServingOptions template, arrivals from its traffic
+/// block routed across them. The report is a pure function of
+/// (options, cluster_options) — worker counts move only wall clock.
+[[nodiscard]] ClusterMeasurement measure_cluster(
+    const std::vector<TaskArtifacts>& suite, const ServingOptions& options,
+    const ClusterServingOptions& cluster_options);
 
 }  // namespace mann::runtime

@@ -231,4 +231,21 @@ ServingReport ServingMetrics::finalize(RunTotals totals) const {
   return report;
 }
 
+bool simulated_reports_identical(const ServingReport& a,
+                                 const ServingReport& b) {
+  return a.completed == b.completed && a.rejected == b.rejected &&
+         a.makespan_cycles == b.makespan_cycles && a.accuracy == b.accuracy &&
+         a.latency.p50_cycles == b.latency.p50_cycles &&
+         a.latency.p95_cycles == b.latency.p95_cycles &&
+         a.latency.p99_cycles == b.latency.p99_cycles &&
+         a.latency.max_cycles == b.latency.max_cycles &&
+         a.model_uploads == b.model_uploads &&
+         a.model_evictions == b.model_evictions &&
+         a.stolen_batches == b.stolen_batches &&
+         a.deadline_missed == b.deadline_missed &&
+         a.energy.per_inference_joules == b.energy.per_inference_joules &&
+         a.batching.batches_out == b.batching.batches_out &&
+         a.tenants == b.tenants;
+}
+
 }  // namespace mann::serve

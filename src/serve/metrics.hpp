@@ -193,6 +193,15 @@ struct RunTotals {
   SpeculationStats speculation;
 };
 
+/// True when two reports agree on every byte-stable (host-independent)
+/// field — the determinism contract's observable surface. Host-execution
+/// fields (wall seconds, cycle-cache stats, worker counts) are excluded
+/// by design; tenant reports compare exactly via their defaulted
+/// operator==. Used by the bench's worker-count invariance checks and by
+/// mann::cluster's cluster-of-1 ≡ bare-Server identity gate.
+[[nodiscard]] bool simulated_reports_identical(const ServingReport& a,
+                                               const ServingReport& b);
+
 class ServingMetrics {
  public:
   /// `histogram_hi_cycles` bounds the binned latency view (samples beyond

@@ -260,8 +260,9 @@ ServerSession::ServerSession(ServerConfig config,
                /*histogram_hi_cycles=*/50.0e6, config_.power),
       cursors_(models.size(), 0),
       // Injected ids start after the generator's range so the merged
-      // id space stays collision-free (and, in pure open loop, 0-based).
-      next_injected_id_(options_.total_requests) {
+      // id space stays collision-free (and, in pure open loop, 0-based);
+      // first_id shifts the whole range for multi-instance drivers.
+      next_injected_id_(options_.first_id + options_.total_requests) {
   frontend_ = std::make_unique<Frontend>(*this);
   batch_stage_ = std::make_unique<BatchStage>(*this);
   dispatch_ = std::make_unique<Dispatch>(*this);

@@ -63,6 +63,12 @@ struct SessionOptions {
   /// Record a Completion per resolved request for poll_completions().
   /// run() turns this off — nobody polls, so nothing should accumulate.
   bool collect_completions = true;
+  /// Offset added to the injected-id range (which already starts after
+  /// the generator's). A multi-instance driver (mann::cluster) gives
+  /// every instance a disjoint id space so completion streams and trace
+  /// spans stay globally unique; 0 (the default, and always instance 0)
+  /// keeps the historical 0-based open-loop numbering.
+  RequestId first_id = 0;
 };
 
 /// One open-loop submission (ServerSession::submit()).
@@ -177,6 +183,13 @@ class ServerSession {
   }
   [[nodiscard]] std::size_t num_tenants() const noexcept {
     return tenants_.empty() ? 1 : tenants_.size();
+  }
+  /// Pending work under the scheduler's cost model (queued batches +
+  /// in-flight remainders), in cycles at the current clock. A simulated
+  /// quantity, so routers may use it as a load signal without breaking
+  /// the any-worker-count determinism contract.
+  [[nodiscard]] sim::Cycle pending_cost_cycles() const noexcept {
+    return scheduler_.backlog_cycles(simulator_.now());
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "serve/trace.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <fstream>
@@ -117,6 +118,61 @@ void save_trace_csv(const std::string& path,
   if (!out) {
     throw std::runtime_error("save_trace_csv: write failed on " + path);
   }
+}
+
+namespace {
+
+/// SplitMix64 — the seeding mixer numeric::Rng also builds on; used here
+/// as a stateless hash so every replica's jitter is a pure function of
+/// (seed, row, replica) and never of iteration order.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<TraceEntry> scale_trace(const std::vector<TraceEntry>& entries,
+                                    std::size_t factor, std::uint64_t seed) {
+  if (entries.empty() || factor <= 1) {
+    return entries;
+  }
+  // Each row's replicas jitter within [arrival, arrival + gap), where gap
+  // is the distance to the next row (mean gap for the tail row, so the
+  // trace does not pile its last factor replicas on one cycle).
+  const sim::Cycle span =
+      entries.back().arrival_cycle - entries.front().arrival_cycle;
+  const sim::Cycle mean_gap =
+      entries.size() > 1
+          ? std::max<sim::Cycle>(1, span / (entries.size() - 1))
+          : 1;
+  std::vector<TraceEntry> scaled;
+  scaled.reserve(entries.size() * factor);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TraceEntry& row = entries[i];
+    scaled.push_back(row);
+    const sim::Cycle gap =
+        i + 1 < entries.size()
+            ? std::max<sim::Cycle>(
+                  1, entries[i + 1].arrival_cycle - row.arrival_cycle)
+            : mean_gap;
+    for (std::size_t r = 1; r < factor; ++r) {
+      TraceEntry replica = row;
+      replica.arrival_cycle =
+          row.arrival_cycle + mix64(seed ^ mix64(i) ^ (r * 0x2545F4914F6CDD1DULL)) % gap;
+      scaled.push_back(replica);
+    }
+  }
+  // Jitter keeps replicas inside their local gap, but equal-cycle source
+  // rows still interleave; one stable sort restores a valid schedule
+  // while keeping the construction order deterministic on ties.
+  std::stable_sort(scaled.begin(), scaled.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.arrival_cycle < b.arrival_cycle;
+                   });
+  return scaled;
 }
 
 }  // namespace mann::serve

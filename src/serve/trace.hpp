@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,5 +48,17 @@ struct TraceEntry {
 /// std::runtime_error when the file cannot be written.
 void save_trace_csv(const std::string& path,
                     const std::vector<TraceEntry>& entries);
+
+/// Amplifies a trace `factor`x without changing its shape: every original
+/// row is kept and (factor - 1) replicas are added, each offset by a
+/// deterministic (seeded) jitter within the row's local inter-arrival
+/// gap — so the diurnal envelope, bursts and tenant/task mix survive at
+/// factor-times the request volume, and a 10-100x cluster sweep can
+/// replay the committed sample traces instead of needing multi-MB
+/// recordings. factor == 0 is treated as 1 (identity); the result is
+/// arrival-sorted and valid for save_trace_csv / replay.
+[[nodiscard]] std::vector<TraceEntry> scale_trace(
+    const std::vector<TraceEntry>& entries, std::size_t factor,
+    std::uint64_t seed = 2019);
 
 }  // namespace mann::serve

@@ -1,0 +1,129 @@
+// Autoscaler: the epoch rule is a pure function of the arrival schedule.
+// Scale decisions fire only at epoch boundaries, move one step at a
+// time, respect min/max clamps and the cooldown, and empty trailing
+// epochs walk the count down toward the floor (the diurnal trough).
+#include "cluster/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mann::cluster {
+namespace {
+
+AutoscalerConfig fast_config() {
+  AutoscalerConfig config;
+  config.enabled = true;
+  config.epoch_cycles = 1'000;
+  config.up_arrivals_per_instance = 5.0;
+  config.down_arrivals_per_instance = 2.0;
+  config.cooldown_epochs = 0;
+  return config;
+}
+
+TEST(Autoscaler, DisabledNeverDecides) {
+  AutoscalerConfig config = fast_config();
+  config.enabled = false;
+  Autoscaler scaler(config, 4);
+  for (sim::Cycle cycle = 0; cycle < 50'000; cycle += 100) {
+    EXPECT_EQ(scaler.observe(cycle, 1), std::nullopt);
+  }
+  EXPECT_EQ(scaler.scale_ups(), 0u);
+  EXPECT_EQ(scaler.scale_downs(), 0u);
+}
+
+TEST(Autoscaler, ScalesUpWhenAnEpochRunsHot) {
+  Autoscaler scaler(fast_config(), 4);
+  // Ten arrivals land in epoch 0 with one active instance: per = 10 > 5.
+  for (sim::Cycle cycle = 0; cycle < 10; ++cycle) {
+    EXPECT_EQ(scaler.observe(cycle, 1), std::nullopt);
+  }
+  // The boundary-crossing arrival closes the epoch and fires the rule.
+  EXPECT_EQ(scaler.observe(1'000, 1), std::optional<std::size_t>{2});
+  EXPECT_EQ(scaler.scale_ups(), 1u);
+}
+
+TEST(Autoscaler, EmptyEpochsWalkTheFleetDownToTheFloor) {
+  Autoscaler scaler(fast_config(), 4);
+  EXPECT_EQ(scaler.observe(100, 3), std::nullopt);
+  // One quiet spell spanning several epochs: per = 1/3 then 0, 0, ... —
+  // each closed epoch steps down once until min_instances holds.
+  EXPECT_EQ(scaler.observe(5'500, 3), std::optional<std::size_t>{1});
+  EXPECT_EQ(scaler.scale_downs(), 2u);
+  EXPECT_EQ(scaler.scale_ups(), 0u);
+}
+
+TEST(Autoscaler, CooldownHoldsBetweenDecisions) {
+  AutoscalerConfig config = fast_config();
+  config.cooldown_epochs = 2;
+  Autoscaler scaler(config, 4);
+  for (sim::Cycle cycle = 0; cycle < 10; ++cycle) {
+    (void)scaler.observe(cycle, 1);
+  }
+  // Epoch 0 closes hot -> up. Epochs 1 and 2 are also hot but sit in
+  // the cooldown shadow; epoch 3 decides again.
+  EXPECT_EQ(scaler.observe(1'000, 1), std::optional<std::size_t>{2});
+  for (sim::Cycle cycle = 1'001; cycle < 1'030; ++cycle) {
+    (void)scaler.observe(cycle, 2);
+  }
+  EXPECT_EQ(scaler.observe(2'000, 2), std::nullopt);  // cooldown
+  for (sim::Cycle cycle = 2'001; cycle < 2'030; ++cycle) {
+    (void)scaler.observe(cycle, 2);
+  }
+  EXPECT_EQ(scaler.observe(3'000, 2), std::nullopt);  // cooldown
+  for (sim::Cycle cycle = 3'001; cycle < 3'030; ++cycle) {
+    (void)scaler.observe(cycle, 2);
+  }
+  EXPECT_EQ(scaler.observe(4'000, 2), std::optional<std::size_t>{3});
+  EXPECT_EQ(scaler.scale_ups(), 2u);
+}
+
+TEST(Autoscaler, ClampsToMinMaxAndFleetSize) {
+  AutoscalerConfig config = fast_config();
+  config.min_instances = 2;
+  config.max_instances = 9;  // clamped to the fleet size of 3
+  Autoscaler scaler(config, 3);
+
+  // Hot epochs cannot push past the fleet.
+  for (sim::Cycle cycle = 0; cycle < 40; ++cycle) {
+    (void)scaler.observe(cycle, 3);
+  }
+  EXPECT_EQ(scaler.observe(1'000, 3), std::nullopt);
+  // Cold epochs cannot push below min_instances.
+  EXPECT_EQ(scaler.observe(9'500, 2), std::nullopt);
+  EXPECT_EQ(scaler.scale_ups(), 0u);
+  EXPECT_EQ(scaler.scale_downs(), 0u);
+}
+
+TEST(Autoscaler, TwoInstancesReplayIdentically) {
+  Autoscaler a(fast_config(), 4);
+  Autoscaler b(fast_config(), 4);
+  std::size_t active_a = 2;
+  std::size_t active_b = 2;
+  // A bursty-then-quiet schedule: both replicas must make the same
+  // decisions at the same arrivals.
+  for (sim::Cycle cycle = 0; cycle < 30'000;
+       cycle += (cycle < 8'000 ? 70 : 1'900)) {
+    const auto ta = a.observe(cycle, active_a);
+    const auto tb = b.observe(cycle, active_b);
+    EXPECT_EQ(ta, tb) << "diverged at cycle " << cycle;
+    if (ta) {
+      active_a = *ta;
+    }
+    if (tb) {
+      active_b = *tb;
+    }
+  }
+  EXPECT_EQ(active_a, active_b);
+  EXPECT_EQ(a.scale_ups(), b.scale_ups());
+  EXPECT_EQ(a.scale_downs(), b.scale_downs());
+}
+
+TEST(Autoscaler, RejectsZeroEpoch) {
+  AutoscalerConfig config = fast_config();
+  config.epoch_cycles = 0;
+  EXPECT_THROW(Autoscaler(config, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mann::cluster

@@ -431,5 +431,76 @@ TEST(TraceTraffic, ReplayDeterministicAcrossWorkerCounts) {
   }
 }
 
+// scale_trace: volume amplification that preserves the trace's shape.
+// Replicas jitter inside the local inter-arrival gap, so bursts stay
+// bursts and the trough stays a trough at any factor.
+TEST(ScaleTrace, KeepsOriginalsAndAddsJitteredReplicas) {
+  const std::vector<TraceEntry> base = {
+      {1'000, 0, 1}, {1'000, 1, 2}, {5'000, 0, 0}, {90'000, 1, 1}};
+  const std::vector<TraceEntry> scaled = scale_trace(base, 3, 42);
+  ASSERT_EQ(scaled.size(), base.size() * 3);
+
+  // Arrival-sorted (valid for replay / save_trace_csv).
+  for (std::size_t i = 1; i < scaled.size(); ++i) {
+    EXPECT_LE(scaled[i - 1].arrival_cycle, scaled[i].arrival_cycle);
+  }
+  // Every original row survives verbatim, and each original contributes
+  // exactly factor rows with its task/tenant pair.
+  for (const TraceEntry& original : base) {
+    std::size_t verbatim = 0;
+    std::size_t family = 0;
+    for (const TraceEntry& entry : scaled) {
+      verbatim += entry == original ? 1 : 0;
+      family += entry.task == original.task && entry.tenant == original.tenant
+                    ? 1
+                    : 0;
+    }
+    EXPECT_GE(verbatim, 1u);
+    // Both tasks appear twice in `base`, so each (task, tenant) family
+    // is exactly one original's replicas.
+    EXPECT_EQ(family, 3u);
+  }
+  // Jitter stays within the local gap: nothing lands past the last
+  // original arrival plus its mean-gap tail allowance.
+  const sim::Cycle span = base.back().arrival_cycle - base.front().arrival_cycle;
+  const sim::Cycle mean_gap = span / (base.size() - 1);
+  for (const TraceEntry& entry : scaled) {
+    EXPECT_LT(entry.arrival_cycle,
+              base.back().arrival_cycle + mean_gap);
+  }
+}
+
+TEST(ScaleTrace, IsDeterministicPerSeedAndIdentityAtFactorOne) {
+  const std::vector<TraceEntry> base = {
+      {0, 0, 0}, {200, 1, 1}, {250, 0, 2}, {8'000, 1, 0}};
+  EXPECT_EQ(scale_trace(base, 1, 7), base);
+  EXPECT_EQ(scale_trace(base, 0, 7), base);  // 0 treated as identity
+  EXPECT_EQ(scale_trace(base, 10, 7), scale_trace(base, 10, 7));
+  // A different seed moves the replicas (the originals stay).
+  EXPECT_NE(scale_trace(base, 10, 7), scale_trace(base, 10, 8));
+  EXPECT_TRUE(scale_trace({}, 5, 7).empty());
+}
+
+TEST(ScaleTrace, ScaledTraceReplaysDeterministically) {
+  const auto stories = testing::tiny_stories(6);
+  const std::vector<TraceEntry> base = {
+      {1'000, 0, 0}, {1'200, 1, 1}, {40'000, 0, 2}, {41'000, 1, 0}};
+  TrafficConfig config;
+  config.process = ArrivalProcess::kTrace;
+  config.trace = scale_trace(base, 5, 11);
+  config.tenants.resize(3);
+  const auto first = emit_all(config, {{0, stories}, {1, stories}},
+                              config.trace.size());
+  const auto second = emit_all(config, {{0, stories}, {1, stories}},
+                               config.trace.size());
+  ASSERT_EQ(first.size(), base.size() * 5);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].enqueue_cycle, second[i].enqueue_cycle);
+    EXPECT_EQ(first[i].task, second[i].task);
+    EXPECT_EQ(first[i].tenant, second[i].tenant);
+  }
+}
+
 }  // namespace
 }  // namespace mann::serve

@@ -20,9 +20,19 @@
 //                   [--process poisson|bursty|diurnal]
 //                   [--mean-interarrival C] [--seed S]
 //                   [--diurnal-amplitude A] [--diurnal-period P]
+//                   [--in PATH] [--scale F]
+//
+// With `--in PATH` the tool amplifies an existing recording instead of
+// generating one: every original row is kept verbatim and `--scale F`
+// adds F-1 jittered replicas per row (serve::scale_trace — the offsets
+// are deterministic in --seed, so two runs produce byte-identical
+// amplified traces). This is how the cluster bench's 10x diurnal volume
+// is produced from the committed 1x sample. `--scale` also composes
+// with generation: the synthetic schedule is amplified before writing.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -37,6 +47,8 @@ using namespace mann;
 
 struct Options {
   std::string out;
+  std::string in;          ///< amplify this recording instead of generating
+  std::size_t scale = 1;   ///< keep originals, add scale-1 jittered replicas
   std::size_t requests = 2'000;
   std::size_t tasks = 4;
   std::size_t tenants = 1;
@@ -54,7 +66,8 @@ struct Options {
       "                       [--tenants T]\n"
       "                       [--process poisson|bursty|diurnal]\n"
       "                       [--mean-interarrival CYCLES] [--seed S]\n"
-      "                       [--diurnal-amplitude A] [--diurnal-period P]\n");
+      "                       [--diurnal-amplitude A] [--diurnal-period P]\n"
+      "                       [--in PATH] [--scale F]\n");
   std::exit(2);
 }
 
@@ -71,6 +84,15 @@ Options parse_args(int argc, char** argv) {
     };
     if (arg == "--out") {
       opts.out = next();
+    } else if (arg == "--in") {
+      opts.in = next();
+    } else if (arg == "--scale") {
+      opts.scale = static_cast<std::size_t>(std::strtoull(next(), nullptr,
+                                                          10));
+      if (opts.scale == 0) {
+        std::fprintf(stderr, "--scale needs a positive factor\n");
+        std::exit(2);
+      }
     } else if (arg == "--requests") {
       opts.requests = static_cast<std::size_t>(std::strtoull(next(), nullptr,
                                                              10));
@@ -115,41 +137,78 @@ Options parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
 
-  // The generator wants a non-empty corpus per task; arrival recording
-  // only reads tasks, tenants and cycles, so a one-story dummy corpus
-  // suffices.
-  const std::vector<data::EncodedStory> dummy(1);
-  std::vector<serve::TaskWorkload> workloads;
-  workloads.reserve(opts.tasks);
-  for (std::size_t t = 0; t < opts.tasks; ++t) {
-    workloads.push_back({t, dummy});
-  }
-
-  serve::TrafficConfig config;
-  config.process = opts.process;
-  config.mean_interarrival_cycles = opts.mean_interarrival;
-  config.diurnal_amplitude = opts.diurnal_amplitude;
-  config.diurnal_period_cycles = opts.diurnal_period;
-  config.seed = opts.seed;
-  if (opts.tenants > 1) {
-    // Equal traffic shares; the registry's QoS knobs (tier, weight,
-    // quota) are the replayer's business, not the recording's.
-    config.tenants.assign(opts.tenants, serve::TenantConfig{});
-  }
-
-  serve::TrafficGenerator generator(config, workloads, opts.requests);
   std::vector<serve::TraceEntry> entries;
-  entries.reserve(opts.requests);
-  while (auto request = generator.poll(sim::kNever - 1)) {
-    entries.push_back({request->enqueue_cycle, request->task,
-                       request->tenant});
+  if (!opts.in.empty()) {
+    // Amplification mode: the recording fixes tasks/tenants/timing; the
+    // generation knobs do not apply.
+    try {
+      entries = serve::load_trace_csv(opts.in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    if (entries.empty()) {
+      std::fprintf(stderr, "--in %s: trace has no entries\n",
+                   opts.in.c_str());
+      return 2;
+    }
+  } else {
+    // The generator wants a non-empty corpus per task; arrival recording
+    // only reads tasks, tenants and cycles, so a one-story dummy corpus
+    // suffices.
+    const std::vector<data::EncodedStory> dummy(1);
+    std::vector<serve::TaskWorkload> workloads;
+    workloads.reserve(opts.tasks);
+    for (std::size_t t = 0; t < opts.tasks; ++t) {
+      workloads.push_back({t, dummy});
+    }
+
+    serve::TrafficConfig config;
+    config.process = opts.process;
+    config.mean_interarrival_cycles = opts.mean_interarrival;
+    config.diurnal_amplitude = opts.diurnal_amplitude;
+    config.diurnal_period_cycles = opts.diurnal_period;
+    config.seed = opts.seed;
+    if (opts.tenants > 1) {
+      // Equal traffic shares; the registry's QoS knobs (tier, weight,
+      // quota) are the replayer's business, not the recording's.
+      config.tenants.assign(opts.tenants, serve::TenantConfig{});
+    }
+
+    serve::TrafficGenerator generator(config, workloads, opts.requests);
+    entries.reserve(opts.requests);
+    while (auto request = generator.poll(sim::kNever - 1)) {
+      entries.push_back({request->enqueue_cycle, request->task,
+                         request->tenant});
+    }
+  }
+
+  const std::size_t original = entries.size();
+  if (opts.scale > 1) {
+    entries = serve::scale_trace(entries, opts.scale, opts.seed);
   }
 
   serve::save_trace_csv(opts.out, entries);
-  std::printf(
-      "wrote %zu arrivals over %llu cycles (%zu tasks, %zu tenants) to %s\n",
-      entries.size(),
-      static_cast<unsigned long long>(entries.back().arrival_cycle),
-      opts.tasks, opts.tenants, opts.out.c_str());
+  if (opts.scale > 1) {
+    std::printf(
+        "wrote %zu arrivals (%zu originals x%zu, jitter seed %llu) over "
+        "%llu cycles to %s\n",
+        entries.size(), original, opts.scale,
+        static_cast<unsigned long long>(opts.seed),
+        static_cast<unsigned long long>(entries.back().arrival_cycle),
+        opts.out.c_str());
+  } else if (!opts.in.empty()) {
+    std::printf("wrote %zu arrivals (copy of %s) over %llu cycles to %s\n",
+                entries.size(), opts.in.c_str(),
+                static_cast<unsigned long long>(entries.back().arrival_cycle),
+                opts.out.c_str());
+  } else {
+    std::printf(
+        "wrote %zu arrivals over %llu cycles (%zu tasks, %zu tenants) to "
+        "%s\n",
+        entries.size(),
+        static_cast<unsigned long long>(entries.back().arrival_cycle),
+        opts.tasks, opts.tenants, opts.out.c_str());
+  }
   return 0;
 }

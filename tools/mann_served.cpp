@@ -47,6 +47,18 @@
 //                        the same deterministic report JSON the daemon
 //                        writes — the comparison baseline.
 //
+// Cluster mode (--cluster N): the manager owns a cluster::Cluster of N
+// lockstep instances instead of one ServerSession. The protocol is
+// unchanged; `submit` replies gain `instance=<i>` (or `shed=router` when
+// the router refuses), `done`/`shed` stream lines carry the serving
+// instance, `info` prints one fleet line plus a line per instance, and
+// `config` fans out fleet-wide. --router picks the routing policy
+// (affinity = consistent-hash task affinity, p2c = power-of-two-choices,
+// spill = tenant home + spill set; default p2c). --closed-loop composes:
+// the trace is served by Cluster::run() and the report JSON switches to
+// the fleet schema. A --cluster 1 closed loop reproduces the bare
+// server's simulated timeline exactly (the CI identity gate).
+//
 // Workload: --tiny N serves N synthetic untrained tasks (shape-only cost
 // model; instant startup, used by the pipe-driven tests); --tasks K
 // loads K trained tasks from the shared mann_bench_cache suite
@@ -68,6 +80,7 @@
 #include <vector>
 
 #include "accel/compiler.hpp"
+#include "cluster/cluster.hpp"
 #include "common.hpp"
 #include "data/tasks.hpp"
 #include "data/types.hpp"
@@ -95,6 +108,8 @@ struct DaemonOptions {
   std::size_t dedicated = 0;
   std::size_t max_batch = 8;
   std::optional<serve::SchedulerPolicy> policy;  ///< default: see below
+  std::size_t cluster = 0;  ///< fleet size (0 = single bare session)
+  cluster::RouterPolicyKind router = cluster::RouterPolicyKind::kPowerOfTwo;
   bool lockstep = false;
   std::size_t info_every = 0;  ///< info line per N resolved requests
   std::string report_json;
@@ -110,6 +125,7 @@ struct DaemonOptions {
       "                   [--tenants N] [--slo CYCLES] [--devices N]\n"
       "                   [--dedicated N] [--max-batch B]\n"
       "                   [--policy fifo|edf|wfq] [--lockstep]\n"
+      "                   [--cluster N] [--router affinity|p2c|spill]\n"
       "                   [--info-every N] [--report-json PATH]\n"
       "                   [--trace-json PATH] [--seed S]\n"
       "                   [--closed-loop TRACE.csv]\n"
@@ -166,6 +182,20 @@ DaemonOptions parse_args(int argc, char** argv) {
         opts.policy = serve::SchedulerPolicy::kWfq;
       } else {
         std::fprintf(stderr, "--policy must be fifo, edf or wfq\n");
+        usage(2);
+      }
+    } else if (arg == "--cluster") {
+      opts.cluster = count(next());
+    } else if (arg == "--router") {
+      const std::string value = next();
+      if (value == "affinity") {
+        opts.router = cluster::RouterPolicyKind::kTaskAffinity;
+      } else if (value == "p2c") {
+        opts.router = cluster::RouterPolicyKind::kPowerOfTwo;
+      } else if (value == "spill") {
+        opts.router = cluster::RouterPolicyKind::kTenantSpill;
+      } else {
+        std::fprintf(stderr, "--router must be affinity, p2c or spill\n");
         usage(2);
       }
     } else if (arg == "--lockstep") {
@@ -382,6 +412,86 @@ void write_report_json(const std::string& path,
   std::fclose(f);
 }
 
+/// The fleet flavour of the report: the deterministic slice of a
+/// ClusterReport (merged-stream percentiles, fleet energy, autoscaler
+/// counters). Host-dependent fields (wall clock, cycle-cache hit rate)
+/// are deliberately absent, same as the bare-session report above.
+void write_cluster_report_json(const std::string& path,
+                               const cluster::ClusterReport& r) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"instances\": %zu,\n", r.instances);
+  std::fprintf(f, "  \"policy\": \"%s\",\n", r.policy.c_str());
+  std::fprintf(f, "  \"offered\": %zu,\n", r.offered);
+  std::fprintf(f, "  \"completed\": %zu,\n", r.completed);
+  std::fprintf(f, "  \"rejected\": %zu,\n", r.rejected);
+  std::fprintf(f, "  \"router_shed\": %zu,\n", r.router_shed);
+  std::fprintf(f, "  \"makespan_cycles\": %llu,\n",
+               static_cast<unsigned long long>(r.makespan_cycles));
+  std::fprintf(f, "  \"throughput_stories_per_second\": %.6f,\n",
+               r.throughput_stories_per_second);
+  std::fprintf(f, "  \"latency_cycles\": {\"mean\": %.3f, \"p50\": %.3f, "
+               "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n",
+               r.latency.mean_cycles, r.latency.p50_cycles,
+               r.latency.p95_cycles, r.latency.p99_cycles,
+               r.latency.max_cycles);
+  std::fprintf(f, "  \"queue_wait_cycles\": {\"mean\": %.3f, \"p50\": %.3f, "
+               "\"p95\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n",
+               r.queue_wait.mean_cycles, r.queue_wait.p50_cycles,
+               r.queue_wait.p95_cycles, r.queue_wait.p99_cycles,
+               r.queue_wait.max_cycles);
+  std::fprintf(f, "  \"deadline\": {\"total\": %llu, \"missed\": %llu, "
+               "\"hit_rate\": %.9f},\n",
+               static_cast<unsigned long long>(r.deadline_total),
+               static_cast<unsigned long long>(r.deadline_missed),
+               r.deadline_hit_rate);
+  std::fprintf(f, "  \"instance_fairness\": %.9f,\n", r.instance_fairness);
+  std::fprintf(f, "  \"model_uploads\": %llu,\n",
+               static_cast<unsigned long long>(r.model_uploads));
+  std::fprintf(f, "  \"warm_dispatch_rate\": %.9f,\n", r.warm_dispatch_rate);
+  std::fprintf(f, "  \"energy\": {\"total_joules\": %.9f, "
+               "\"per_inference_joules\": %.9f},\n",
+               r.energy.total_joules, r.energy.per_inference_joules);
+  std::fprintf(f, "  \"mean_active_instances\": %.6f,\n",
+               r.mean_active_instances);
+  std::fprintf(f, "  \"scale_ups\": %zu,\n", r.scale_ups);
+  std::fprintf(f, "  \"scale_downs\": %zu,\n", r.scale_downs);
+  std::fprintf(f, "  \"per_instance\": [");
+  for (std::size_t i = 0; i < r.instance_reports.size(); ++i) {
+    const cluster::InstanceReport& inst = r.instance_reports[i];
+    std::fprintf(f,
+                 "%s\n    {\"id\": %zu, \"routed\": %llu, "
+                 "\"active_cycles\": %llu, \"completed\": %zu, "
+                 "\"rejected\": %zu}",
+                 i == 0 ? "" : ",", inst.id,
+                 static_cast<unsigned long long>(inst.routed),
+                 static_cast<unsigned long long>(inst.active_cycles),
+                 inst.report.completed, inst.report.rejected);
+  }
+  std::fprintf(f, "%s]\n", r.instance_reports.empty() ? "" : "\n  ");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+/// Fleet template from the daemon knobs: each instance gets the full
+/// per-instance stack (make_config); the router/autoscaler ride on top.
+/// The daemon never autoscales — parking decisions belong to recorded
+/// schedules with a known span (the bench), not an open stdin stream.
+cluster::ClusterConfig make_cluster_config(const DaemonOptions& opts,
+                                           obs::MetricsRegistry* metrics,
+                                           obs::TraceRecorder* trace) {
+  cluster::ClusterConfig config;
+  config.instances = opts.cluster;
+  config.server = make_config(opts, metrics, trace);
+  config.router.kind = opts.router;
+  config.router.seed = opts.seed;
+  return config;
+}
+
 // ------------------------------------------------------------ closed loop
 
 /// One-shot comparison baseline: the recorded schedule served by the
@@ -411,6 +521,22 @@ int run_closed_loop(const DaemonOptions& opts, Workload& workload) {
     }
   }
   config.traffic.trace = trace;
+  if (opts.cluster > 0) {
+    cluster::ClusterConfig fleet_config =
+        make_cluster_config(opts, nullptr, nullptr);
+    fleet_config.server = config;  // carries the trace traffic
+    cluster::Cluster fleet(std::move(fleet_config), workload.models);
+    const cluster::ClusterReport report = fleet.run(trace.size());
+    if (!opts.report_json.empty()) {
+      write_cluster_report_json(opts.report_json, report);
+    }
+    std::printf("closed-loop instances=%zu policy=%s offered=%zu "
+                "completed=%zu rejected=%zu router_shed=%zu makespan=%llu\n",
+                report.instances, report.policy.c_str(), report.offered,
+                report.completed, report.rejected, report.router_shed,
+                static_cast<unsigned long long>(report.makespan_cycles));
+    return 0;
+  }
   const serve::Server server(config, std::move(workload.models));
   const serve::ServingReport report = server.run(trace.size());
   if (!opts.report_json.empty()) {
@@ -481,15 +607,17 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
-/// The manager: sole owner of the session, sole stdout writer. Commands
-/// execute strictly in arrival order, and each command is followed by
-/// one pump (advance + stream resolved requests), so the entire output
-/// byte stream is a pure function of the input line sequence.
+/// The manager: sole owner of the session (or the fleet under
+/// --cluster), sole stdout writer. Commands execute strictly in arrival
+/// order, and each command is followed by one pump (advance + stream
+/// resolved requests), so the entire output byte stream is a pure
+/// function of the input line sequence. Exactly one of `session`/`fleet`
+/// is non-null.
 class Manager {
  public:
-  Manager(const DaemonOptions& opts, serve::ServerSession& session,
-          obs::TraceRecorder* trace)
-      : opts_(opts), session_(session), trace_(trace) {}
+  Manager(const DaemonOptions& opts, serve::ServerSession* session,
+          cluster::Cluster* fleet, obs::TraceRecorder* trace)
+      : opts_(opts), session_(session), fleet_(fleet), trace_(trace) {}
 
   /// True while the daemon should keep reading commands.
   [[nodiscard]] bool running() const noexcept { return !quitting_; }
@@ -510,16 +638,37 @@ class Manager {
     std::fflush(stdout);
   }
 
-  /// EOF or quit: drain, run to quiescence, report and summarize.
-  serve::ServingReport finish() {
-    serve::ServingReport report = session_.finalize();
-    emit_completions();
-    std::printf("bye offered=%zu completed=%zu rejected=%zu "
-                "makespan=%llu\n",
-                report.offered, report.completed, report.rejected,
-                static_cast<unsigned long long>(report.makespan_cycles));
+  /// EOF or quit: drain, run to quiescence, stream the tail, report.
+  /// Owns the report JSON too — the session and fleet schemas differ.
+  void finish() {
+    if (fleet_ != nullptr) {
+      // Cluster::finalize() folds (and discards) any still-pending
+      // completions into its percentiles, so stream the tail first; the
+      // drain + quiescence pass below makes finalize's own a no-op.
+      fleet_->drain();
+      (void)fleet_->step_until(sim::kNever);
+      emit_completions();
+      const cluster::ClusterReport report = fleet_->finalize();
+      std::printf("bye offered=%zu completed=%zu rejected=%zu "
+                  "router_shed=%zu makespan=%llu\n",
+                  report.offered, report.completed, report.rejected,
+                  report.router_shed,
+                  static_cast<unsigned long long>(report.makespan_cycles));
+      if (!opts_.report_json.empty()) {
+        write_cluster_report_json(opts_.report_json, report);
+      }
+    } else {
+      const serve::ServingReport report = session_->finalize();
+      emit_completions();
+      std::printf("bye offered=%zu completed=%zu rejected=%zu "
+                  "makespan=%llu\n",
+                  report.offered, report.completed, report.rejected,
+                  static_cast<unsigned long long>(report.makespan_cycles));
+      if (!opts_.report_json.empty()) {
+        write_report_json(opts_.report_json, report);
+      }
+    }
     std::fflush(stdout);
-    return report;
   }
 
  private:
@@ -561,7 +710,12 @@ class Manager {
     } else if (command == "step") {
       cmd_step(tokens);
     } else if (command == "drain") {
-      session_.drain();
+      if (fleet_ != nullptr) {
+        fleet_->drain();
+        drained_ = true;
+      } else {
+        session_->drain();
+      }
       std::printf("ok drain\n");
     } else if (command == "quit") {
       quitting_ = true;
@@ -588,11 +742,23 @@ class Manager {
     if (tokens.size() > 4) {
       request.at_cycle = parse_count(tokens[4], "at");
     }
-    const serve::RequestId id = session_.submit(request);
+    if (fleet_ != nullptr) {
+      const cluster::Cluster::Submission sub = fleet_->submit(request);
+      if (!sub.instance.has_value()) {
+        std::printf("ok shed=router\n");
+      } else {
+        std::printf("ok id=%llu instance=%zu at=%llu\n",
+                    static_cast<unsigned long long>(sub.id), *sub.instance,
+                    static_cast<unsigned long long>(
+                        fleet_->last_submitted_arrival()));
+      }
+      return;
+    }
+    const serve::RequestId id = session_->submit(request);
     std::printf("ok id=%llu at=%llu\n",
                 static_cast<unsigned long long>(id),
                 static_cast<unsigned long long>(
-                    session_.last_submitted_arrival()));
+                    session_->last_submitted_arrival()));
   }
 
   void cmd_config(const std::vector<std::string>& tokens) {
@@ -615,7 +781,11 @@ class Manager {
           parse_real(tokens[5], "quota_interarrival");
       config.quota_burst = parse_real(tokens[6], "quota_burst");
       config.slo_deadline_cycles = parse_count(tokens[7], "slo");
-      session_.set_tenant(id, config);
+      if (fleet_ != nullptr) {
+        fleet_->set_tenant(id, config);
+      } else {
+        session_->set_tenant(id, config);
+      }
       std::printf("ok config tenant %u\n", id);
     } else if (what == "slo") {
       if (tokens.size() < 3) {
@@ -628,7 +798,11 @@ class Manager {
       for (std::size_t i = 3; i < tokens.size(); ++i) {
         slo.per_task.push_back(parse_count(tokens[i], "per-task deadline"));
       }
-      session_.set_slo(slo);
+      if (fleet_ != nullptr) {
+        fleet_->set_slo(slo);
+      } else {
+        session_->set_slo(slo);
+      }
       std::printf("ok config slo\n");
     } else if (what == "policy") {
       if (tokens.size() != 3) {
@@ -645,7 +819,9 @@ class Manager {
         fail("config policy fifo|edf|wfq");
         return;
       }
-      if (session_.set_policy(policy)) {
+      const bool switched = fleet_ != nullptr ? fleet_->set_policy(policy)
+                                              : session_->set_policy(policy);
+      if (switched) {
         std::printf("ok config policy %s\n", tokens[2].c_str());
       } else {
         std::printf("err policy wfq needs a session started under wfq "
@@ -673,56 +849,110 @@ class Manager {
     }
     const sim::Cycle cycles =
         tokens.size() == 2 ? parse_count(tokens[1], "cycles") : 0;
-    const bool idle = session_.step(cycles);
+    if (fleet_ != nullptr) {
+      // step N = advance the lockstep horizon by N; step = quiescence,
+      // matching ServerSession::step's contract.
+      const bool idle = fleet_->step_until(
+          cycles == 0 ? sim::kNever : fleet_->now() + cycles);
+      std::printf("ok step cycle=%llu idle=%d\n",
+                  static_cast<unsigned long long>(fleet_->now()),
+                  idle ? 1 : 0);
+      return;
+    }
+    const bool idle = session_->step(cycles);
     std::printf("ok step cycle=%llu idle=%d\n",
-                static_cast<unsigned long long>(session_.now()),
+                static_cast<unsigned long long>(session_->now()),
                 idle ? 1 : 0);
   }
 
   /// Advance per the clocking mode, then stream resolved requests.
   void pump() {
-    if (opts_.lockstep && !session_.draining()) {
+    if (fleet_ != nullptr) {
+      if (opts_.lockstep && !drained_) {
+        (void)fleet_->step_until(fleet_->last_submitted_arrival());
+      } else {
+        (void)fleet_->step_until(sim::kNever);
+      }
+    } else if (opts_.lockstep && !session_->draining()) {
       // Never run past the last vouched-for arrival (exclusive), so the
       // replayed schedule batches exactly like the closed loop.
-      (void)session_.step_until(session_.last_submitted_arrival());
+      (void)session_->step_until(session_->last_submitted_arrival());
     } else {
-      (void)session_.step(0);
+      (void)session_->step(0);
     }
     emit_completions();
   }
 
   void emit_completions() {
-    for (const serve::Completion& c : session_.poll_completions()) {
-      const serve::InferenceResponse& r = c.response;
-      if (serve::outcome_is_shed(c.outcome)) {
-        std::printf("shed id=%llu task=%zu tenant=%u reason=%s "
-                    "cycle=%llu\n",
-                    static_cast<unsigned long long>(r.id), r.task,
-                    r.tenant, serve::request_outcome_name(c.outcome),
-                    static_cast<unsigned long long>(c.cycle));
-      } else {
-        std::printf("done id=%llu task=%zu tenant=%u outcome=%s "
-                    "enqueue=%llu complete=%llu latency=%llu\n",
-                    static_cast<unsigned long long>(r.id), r.task,
-                    r.tenant, serve::request_outcome_name(c.outcome),
-                    static_cast<unsigned long long>(r.enqueue_cycle),
-                    static_cast<unsigned long long>(r.complete_cycle),
-                    static_cast<unsigned long long>(r.latency_cycles()));
+    if (fleet_ != nullptr) {
+      for (const cluster::ClusterCompletion& c : fleet_->poll_completions()) {
+        emit_resolved(c.completion, static_cast<long long>(c.instance));
       }
-      ++resolved_since_info_;
-      if (opts_.info_every > 0 &&
-          resolved_since_info_ >= opts_.info_every) {
-        print_info();
-        resolved_since_info_ = 0;
+    } else {
+      for (const serve::Completion& c : session_->poll_completions()) {
+        emit_resolved(c, -1);
       }
     }
   }
 
+  /// One `done`/`shed` stream line; instance >= 0 (cluster mode) appends
+  /// an `instance=` token so drivers can attribute the resolution.
+  void emit_resolved(const serve::Completion& c, long long instance) {
+    char tag[32] = "";
+    if (instance >= 0) {
+      std::snprintf(tag, sizeof(tag), " instance=%lld", instance);
+    }
+    const serve::InferenceResponse& r = c.response;
+    if (serve::outcome_is_shed(c.outcome)) {
+      std::printf("shed id=%llu task=%zu tenant=%u reason=%s "
+                  "cycle=%llu%s\n",
+                  static_cast<unsigned long long>(r.id), r.task,
+                  r.tenant, serve::request_outcome_name(c.outcome),
+                  static_cast<unsigned long long>(c.cycle), tag);
+    } else {
+      std::printf("done id=%llu task=%zu tenant=%u outcome=%s "
+                  "enqueue=%llu complete=%llu latency=%llu%s\n",
+                  static_cast<unsigned long long>(r.id), r.task,
+                  r.tenant, serve::request_outcome_name(c.outcome),
+                  static_cast<unsigned long long>(r.enqueue_cycle),
+                  static_cast<unsigned long long>(r.complete_cycle),
+                  static_cast<unsigned long long>(r.latency_cycles()), tag);
+    }
+    ++resolved_since_info_;
+    if (opts_.info_every > 0 && resolved_since_info_ >= opts_.info_every) {
+      print_info();
+      resolved_since_info_ = 0;
+    }
+  }
+
   void print_info() {
-    const serve::SessionInfo info = session_.info();
-    std::printf("info cycle=%llu offered=%zu admitted=%zu completed=%zu "
+    if (fleet_ != nullptr) {
+      const cluster::ClusterInfo fleet_info = fleet_->info();
+      std::printf("info cycle=%llu instances=%zu active=%zu offered=%zu "
+                  "router_shed=%zu policy=%s\n",
+                  static_cast<unsigned long long>(fleet_info.cycle),
+                  fleet_info.instances, fleet_info.active,
+                  fleet_info.offered, fleet_info.router_shed,
+                  fleet_->policy_name());
+      for (std::size_t i = 0; i < fleet_info.per_instance.size(); ++i) {
+        print_session_info(fleet_info.per_instance[i],
+                           static_cast<long long>(i));
+      }
+      return;
+    }
+    print_session_info(session_->info(), -1);
+  }
+
+  static void print_session_info(const serve::SessionInfo& info,
+                                 long long instance) {
+    char label[32] = "info";
+    if (instance >= 0) {
+      std::snprintf(label, sizeof(label), "info[%lld]", instance);
+    }
+    std::printf("%s cycle=%llu offered=%zu admitted=%zu completed=%zu "
                 "shed=%zu pending=%zu in_flight=%zu policy=%s "
                 "draining=%d\n",
+                label,
                 static_cast<unsigned long long>(info.cycle), info.offered,
                 info.admitted, info.completed, info.shed,
                 info.batcher_pending + info.scheduler_pending,
@@ -732,9 +962,11 @@ class Manager {
   }
 
   const DaemonOptions& opts_;
-  serve::ServerSession& session_;
+  serve::ServerSession* session_;  ///< bare mode (null under --cluster)
+  cluster::Cluster* fleet_;        ///< --cluster mode (null otherwise)
   obs::TraceRecorder* trace_;
   std::size_t resolved_since_info_ = 0;
+  bool drained_ = false;  ///< fleet drain latch (Cluster has no draining())
   bool quitting_ = false;
 };
 
@@ -748,17 +980,31 @@ int run_daemon(const DaemonOptions& opts, Workload& workload) {
   }
   const serve::ServerConfig config = make_config(opts, &metrics, trace);
 
-  serve::SessionOptions session_options;
-  session_options.total_requests = 0;  // pure open loop
-  serve::ServerSession session(config, workload.models, session_options);
-
-  std::printf("ready tasks=%zu tenants=%zu policy=%s lockstep=%d\n",
-              session.num_tasks(), session.num_tenants(),
-              serve::scheduler_policy_name(config.scheduler.policy),
-              opts.lockstep ? 1 : 0);
+  std::optional<serve::ServerSession> session;
+  std::optional<cluster::Cluster> fleet;
+  if (opts.cluster > 0) {
+    fleet.emplace(make_cluster_config(opts, &metrics, trace),
+                  workload.models);
+    std::printf("ready tasks=%zu tenants=%zu policy=%s lockstep=%d "
+                "instances=%zu router=%s\n",
+                workload.models.size(),
+                std::max<std::size_t>(1, opts.tenants),
+                serve::scheduler_policy_name(config.scheduler.policy),
+                opts.lockstep ? 1 : 0, fleet->size(),
+                fleet->policy_name());
+  } else {
+    serve::SessionOptions session_options;
+    session_options.total_requests = 0;  // pure open loop
+    session.emplace(config, workload.models, session_options);
+    std::printf("ready tasks=%zu tenants=%zu policy=%s lockstep=%d\n",
+                session->num_tasks(), session->num_tenants(),
+                serve::scheduler_policy_name(config.scheduler.policy),
+                opts.lockstep ? 1 : 0);
+  }
   std::fflush(stdout);
 
-  Manager manager(opts, session, trace);
+  Manager manager(opts, session.has_value() ? &*session : nullptr,
+                  fleet.has_value() ? &*fleet : nullptr, trace);
   CommandQueue queue;
 
   // The manager thread owns the session; the main thread stays the scan
@@ -771,10 +1017,7 @@ int run_daemon(const DaemonOptions& opts, Workload& workload) {
       }
       manager.execute(*line);
     }
-    const serve::ServingReport report = manager.finish();
-    if (!opts.report_json.empty()) {
-      write_report_json(opts.report_json, report);
-    }
+    manager.finish();  // streams the tail and writes --report-json
     if (trace != nullptr) {
       obs::write_chrome_trace(opts.trace_json, *trace,
                               config.accel.clock_hz, &metrics);
