@@ -39,6 +39,12 @@ Fails (exit 1) when:
     any simulated cluster count drifted from the baseline (the whole
     block is deterministic, so drift means the routing or lockstep
     changed),
+  * the fleet-threading contract (schema >= 6) broke: the cluster.host
+    block is missing, or the N-thread fleet run's simulated reports
+    diverged from the 1-thread run (always a hard failure — that is
+    the determinism contract), or — only on hosts with >= 4 cores
+    running >= 4 fleet threads — the fleet wall stopped beating the
+    1-thread wall (wall_ratio <= 1.0),
   * any field this script gates on is missing from either file. A
     missing host block used to read as zeros via .get() defaults and
     silently passed; now it fails loudly with the field name.
@@ -46,7 +52,10 @@ Fails (exit 1) when:
 The `simulated` and `multitenant` blocks are deterministic given the
 seed. Host wall numbers are machine-dependent: wall times and speedup
 print informationally unless --min-wall-speedup opts the speedup into
-gating.
+gating (and the cluster wall_ratio self-gates only on capable hosts).
+host.cold_wall_speedup, when present (a cold persistent-cache run),
+prints as a soft report line so warm-run ratchets don't hide cold-path
+regressions.
 """
 
 import argparse
@@ -214,6 +223,14 @@ def main():
                 f"wall_speedup {speedup:.2f}x below the "
                 f"{args.min_wall_speedup:.2f}x floor — the parallel+cache "
                 f"path lost its advantage over sequential simulation")
+    cold_speedup = host.get("cold_wall_speedup") if host else None
+    if cold_speedup is not None:
+        # Soft report: the speedup earned without a warm persistent
+        # cache. Never gated — cold walls are the noisiest numbers on a
+        # shared runner — but always visible so a cold-path collapse is
+        # spotted in the log even while the warm ratchet stays green.
+        print(f"cold wall_speedup: {cold_speedup:.2f}x "
+              f"[informational, cold persistent cache]")
 
     cache = host.get("cache") if host else None
     if cache is None:
@@ -344,6 +361,48 @@ def main():
                                 f"baseline: {cur_v!r} vs {base_v!r} — "
                                 f"simulated routing is no longer "
                                 f"deterministic across runs")
+            # Fleet threading (schema >= 6): simulated identity across
+            # thread counts is the determinism contract and always
+            # gates; the wall ratio only gates where the host can
+            # actually win (>= 4 cores driving >= 4 threads).
+            if current.get("schema", 0) >= 6:
+                chost = cluster.get("host")
+                if chost is None:
+                    failures.append(
+                        "cluster.host block missing from a schema-6 run — "
+                        "the bench no longer measures fleet threading")
+                else:
+                    threads = require(chost, "fleet_threads",
+                                      "cluster.host", failures)
+                    cores = require(chost, "host_cores", "cluster.host",
+                                    failures)
+                    ratio = require(chost, "wall_ratio", "cluster.host",
+                                    failures)
+                    identical = require(chost, "simulated_reports_identical",
+                                        "cluster.host", failures)
+                    if threads is not None and threads >= 2:
+                        if identical is False:
+                            failures.append(
+                                "fleet run diverged across fleet-thread "
+                                "counts — host parallelism leaked into "
+                                "the simulated timeline")
+                        if None not in (cores, ratio):
+                            gate_wall = cores >= 4 and threads >= 4
+                            print(f"cluster fleet wall: 1 thread "
+                                  f"{chost.get('wall_seconds_1thread', 0):.3f}s"
+                                  f" vs {threads} threads "
+                                  f"{chost.get('wall_seconds_fleet', 0):.3f}s "
+                                  f"-> {ratio:.2f}x on {cores} cores "
+                                  f"[{'gated' if gate_wall else 'informational'}]")
+                            if gate_wall and ratio <= 1.0:
+                                failures.append(
+                                    f"fleet wall ratio {ratio:.2f}x <= 1.0 "
+                                    f"on a {cores}-core host — "
+                                    f"{threads} fleet threads no longer "
+                                    f"beat sequential stepping")
+                    elif threads is not None:
+                        print("cluster fleet wall: comparison skipped "
+                              "(--fleet-threads < 2)")
 
     # The obs trace-export leg (--trace): wall overhead is machine noise,
     # but simulated identity under tracing is deterministic and gates.

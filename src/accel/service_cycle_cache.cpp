@@ -43,7 +43,8 @@ std::size_t ServiceCycleCache::KeyHash::operator()(
 }
 
 ServiceCycleCache::ServiceCycleCache(std::size_t capacity,
-                                     obs::MetricsRegistry* metrics)
+                                     obs::MetricsRegistry* metrics,
+                                     std::size_t segments)
     : capacity_(capacity),
       obs_hits_(obs::counter(metrics, "accel.cycle_cache.hits")),
       obs_waits_(obs::counter(metrics, "accel.cycle_cache.waits")),
@@ -54,65 +55,107 @@ ServiceCycleCache::ServiceCycleCache(std::size_t capacity,
   if (capacity_ == 0) {
     throw std::invalid_argument("ServiceCycleCache: capacity must be > 0");
   }
+  if (segments == 0) {
+    throw std::invalid_argument("ServiceCycleCache: segments must be > 0");
+  }
+  segment_capacity_ = (capacity_ + segments - 1) / segments;
+  segments_.reserve(segments);
+  for (std::size_t i = 0; i < segments; ++i) {
+    auto segment = std::make_unique<Segment>();
+    if (segments > 1 && metrics != nullptr) {
+      const std::string prefix =
+          "accel.cycle_cache.segment." + std::to_string(i) + ".";
+      segment->obs_hits = obs::counter(metrics, prefix + "hits");
+      segment->obs_waits = obs::counter(metrics, prefix + "waits");
+      segment->obs_misses = obs::counter(metrics, prefix + "misses");
+      segment->obs_contended = obs::counter(metrics, prefix + "contended");
+    }
+    segments_.push_back(std::move(segment));
+  }
 }
 
 // Out of line: serve::EvictionPolicy is forward-declared in the header.
 ServiceCycleCache::~ServiceCycleCache() = default;
 
+ServiceCycleCache::Segment& ServiceCycleCache::segment_for(
+    const Key& key) noexcept {
+  // KeyHash mixes the story digest, so concurrent distinct batches
+  // spread across segments instead of queueing on one mutex.
+  return *segments_[KeyHash{}(key) % segments_.size()];
+}
+
+std::unique_lock<std::mutex> ServiceCycleCache::lock_segment(
+    Segment& segment) {
+  std::unique_lock lock(segment.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Host-domain contention signal only — never feeds a simulated
+    // number, so the counter may vary run to run.
+    obs::add(segment.obs_contended);
+    lock.lock();
+  }
+  return lock;
+}
+
 std::optional<RunResult> ServiceCycleCache::acquire(const Key& key,
                                                     CacheOutcome* outcome) {
-  std::unique_lock lock(mutex_);
+  Segment& segment = segment_for(key);
+  std::unique_lock lock = lock_segment(segment);
   bool waited = false;
   for (;;) {
-    if (const auto it = index_.find(key); it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);  // touch
-      it->second->touch_seq = ++touch_counter_;
+    if (const auto it = segment.index.find(key); it != segment.index.end()) {
+      segment.lru.splice(segment.lru.begin(), segment.lru,
+                         it->second);  // touch
+      it->second->touch_seq = ++segment.touch_counter;
       ++it->second->hits;
       // A lookup resolved by someone else's in-flight simulation is a
       // wait, not a hit: it deduplicated work but paid miss-shaped
       // latency, and exactly one of hits/waits/misses counts per lookup.
       if (waited) {
-        ++stats_.waits;
+        ++segment.stats.waits;
         obs::add(obs_waits_);
+        obs::add(segment.obs_waits);
       } else {
-        ++stats_.hits;
+        ++segment.stats.hits;
         obs::add(obs_hits_);
+        obs::add(segment.obs_hits);
       }
       if (outcome != nullptr) {
         *outcome = waited ? CacheOutcome::kWait : CacheOutcome::kHit;
       }
       return it->second->result;
     }
-    if (!in_flight_.contains(key)) {
-      in_flight_.insert(key);
-      ++stats_.misses;
+    if (!segment.in_flight.contains(key)) {
+      segment.in_flight.insert(key);
+      ++segment.stats.misses;
       obs::add(obs_misses_);
+      obs::add(segment.obs_misses);
       if (outcome != nullptr) {
         *outcome = CacheOutcome::kMiss;
       }
       return std::nullopt;  // caller owns the computation
     }
     waited = true;
-    ready_.wait(lock, [&] {
-      return index_.contains(key) || !in_flight_.contains(key);
+    segment.ready.wait(lock, [&] {
+      return segment.index.contains(key) || !segment.in_flight.contains(key);
     });
   }
 }
 
-void ServiceCycleCache::evict_over_capacity_locked() {
-  while (lru_.size() > capacity_) {
-    auto victim = std::prev(lru_.end());  // LRU order: back is coldest
-    if (eviction_ != nullptr && lru_.size() > 1) {
+void ServiceCycleCache::evict_over_capacity_locked(Segment& segment) {
+  while (segment.lru.size() > segment_capacity_) {
+    auto victim = std::prev(segment.lru.end());  // LRU order: back is coldest
+    if (segment.eviction != nullptr && segment.lru.size() > 1) {
       // Policy view of the resident entries (in list order): recency is
       // the touch clock, frequency the per-entry hit count, and reload
       // cost the entry's own simulated cycles — re-simulating IS the
       // reload. The policy's pick maps back to a list iterator.
       std::vector<serve::EvictionCandidate> candidates;
       std::vector<std::list<Entry>::iterator> iters;
-      candidates.reserve(lru_.size());
-      iters.reserve(lru_.size());
+      candidates.reserve(segment.lru.size());
+      iters.reserve(segment.lru.size());
       std::size_t index = 0;
-      for (auto it = lru_.begin(); it != lru_.end(); ++it, ++index) {
+      for (auto it = segment.lru.begin(); it != segment.lru.end();
+           ++it, ++index) {
         serve::EvictionCandidate c;
         c.slot = index;
         c.resident_task = index;
@@ -122,71 +165,111 @@ void ServiceCycleCache::evict_over_capacity_locked() {
         candidates.push_back(c);
         iters.push_back(it);
       }
-      victim = iters[eviction_->pick_victim(candidates)];
+      victim = iters[segment.eviction->pick_victim(candidates)];
     }
-    index_.erase(victim->key);
-    lru_.erase(victim);
-    ++stats_.evictions;
+    segment.index.erase(victim->key);
+    segment.lru.erase(victim);
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    ++segment.stats.evictions;
     obs::add(obs_evictions_);
   }
 }
 
 void ServiceCycleCache::publish(const Key& key, const RunResult& result) {
+  Segment& segment = segment_for(key);
   {
-    std::lock_guard lock(mutex_);
-    in_flight_.erase(key);
-    if (admission_floor_ > 0 && result.total_cycles < admission_floor_) {
+    std::unique_lock lock = lock_segment(segment);
+    segment.in_flight.erase(key);
+    if (segment.admission_floor > 0 &&
+        result.total_cycles < segment.admission_floor) {
       // Cheaper to re-simulate than to hold a slot: don't admit. Waiters
       // below still wake and re-acquire — one of them re-runs inline.
-      ++stats_.admission_rejects;
-    } else if (!index_.contains(key)) {
-      lru_.push_front({key, result, ++touch_counter_, 0});
-      index_.emplace(key, lru_.begin());
-      ++stats_.insertions;
+      ++segment.stats.admission_rejects;
+    } else if (!segment.index.contains(key)) {
+      segment.lru.push_front({key, result, ++segment.touch_counter, 0});
+      segment.index.emplace(key, segment.lru.begin());
+      entry_count_.fetch_add(1, std::memory_order_relaxed);
+      ++segment.stats.insertions;
       obs::add(obs_insertions_);
-      evict_over_capacity_locked();
-      obs::set(obs_entries_, static_cast<std::int64_t>(lru_.size()));
+      evict_over_capacity_locked(segment);
+      obs::set(obs_entries_, entry_count_.load(std::memory_order_relaxed));
     }
   }
-  ready_.notify_all();
+  segment.ready.notify_all();
 }
 
 void ServiceCycleCache::abandon(const Key& key) noexcept {
+  Segment& segment = segment_for(key);
   {
-    std::lock_guard lock(mutex_);
-    in_flight_.erase(key);
+    std::lock_guard lock(segment.mutex);
+    segment.in_flight.erase(key);
   }
-  ready_.notify_all();
+  segment.ready.notify_all();
 }
 
 void ServiceCycleCache::set_admission_floor(sim::Cycle floor) {
-  std::lock_guard lock(mutex_);
-  admission_floor_ = floor;
+  for (const auto& segment : segments_) {
+    std::lock_guard lock(segment->mutex);
+    segment->admission_floor = floor;
+  }
 }
 
 void ServiceCycleCache::set_eviction_policy(
     std::unique_ptr<serve::EvictionPolicy> policy) {
-  std::lock_guard lock(mutex_);
-  eviction_ = std::move(policy);
+  if (segments_.size() > 1 && policy != nullptr) {
+    throw std::invalid_argument(
+        "ServiceCycleCache: a sharded cache needs one policy per segment; "
+        "use the EvictionPolicyKind overload");
+  }
+  for (const auto& segment : segments_) {
+    std::lock_guard lock(segment->mutex);
+    segment->eviction = std::move(policy);
+  }
+}
+
+void ServiceCycleCache::set_eviction_policy(serve::EvictionPolicyKind kind,
+                                            obs::MetricsRegistry* metrics) {
+  for (const auto& segment : segments_) {
+    auto policy = serve::make_eviction_policy(kind, metrics);
+    std::lock_guard lock(segment->mutex);
+    segment->eviction = std::move(policy);
+  }
 }
 
 ServiceCycleCacheStats ServiceCycleCache::stats() const {
-  std::lock_guard lock(mutex_);
-  ServiceCycleCacheStats s = stats_;
-  s.entries = lru_.size();
-  return s;
+  ServiceCycleCacheStats total;
+  for (const auto& segment : segments_) {
+    std::lock_guard lock(segment->mutex);
+    total.hits += segment->stats.hits;
+    total.misses += segment->stats.misses;
+    total.waits += segment->stats.waits;
+    total.insertions += segment->stats.insertions;
+    total.evictions += segment->stats.evictions;
+    total.admission_rejects += segment->stats.admission_rejects;
+    total.entries += segment->lru.size();
+  }
+  return total;
 }
 
 std::size_t ServiceCycleCache::size() const {
-  std::lock_guard lock(mutex_);
-  return lru_.size();
+  std::size_t total = 0;
+  for (const auto& segment : segments_) {
+    std::lock_guard lock(segment->mutex);
+    total += segment->lru.size();
+  }
+  return total;
 }
 
 void ServiceCycleCache::clear() {
-  std::lock_guard lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  stats_ = {};
+  for (const auto& segment : segments_) {
+    std::lock_guard lock(segment->mutex);
+    segment->lru.clear();
+    segment->index.clear();
+    segment->stats = {};
+    segment->touch_counter = 0;
+  }
+  entry_count_.store(0, std::memory_order_relaxed);
+  obs::set(obs_entries_, 0);
 }
 
 // --------------------------------------------------------- persistence
@@ -202,6 +285,9 @@ void ServiceCycleCache::clear() {
 // Doubles travel as raw bit patterns (std::bit_cast), so a loaded result
 // is bit-identical to the published one — the property the serving
 // stack's sequential-vs-parallel identity gate depends on.
+//
+// A sharded cache serializes the merged view (segments in order, each
+// coldest-first), so files round-trip between any two segment counts.
 
 namespace {
 
@@ -382,26 +468,28 @@ bool deserialize_entry(Reader& in, ServiceCycleCache::Key& key,
 
 }  // namespace
 
-bool ServiceCycleCache::insert_locked(Key key, RunResult result) {
-  if (index_.contains(key)) {
+bool ServiceCycleCache::insert_locked(Segment& segment, Key key,
+                                      RunResult result) {
+  if (segment.index.contains(key)) {
     return false;
   }
   // Front = MRU: entries arrive coldest-first from save(), so each
   // warmer entry displaces the colder ones toward the eviction end.
-  lru_.push_front({std::move(key), std::move(result), 0, 0});
-  index_.emplace(lru_.front().key, lru_.begin());
+  segment.lru.push_front({std::move(key), std::move(result), 0, 0});
+  segment.index.emplace(segment.lru.front().key, segment.lru.begin());
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 std::size_t ServiceCycleCache::save(const std::string& path) const {
   std::string payload;
   std::uint64_t count = 0;
-  {
-    std::lock_guard lock(mutex_);
+  for (const auto& segment : segments_) {
+    std::lock_guard lock(segment->mutex);
     // Back-to-front: coldest first, so a capacity-truncating future load
     // naturally keeps the hottest entries resident (they insert last and
     // LRU-evict from the back).
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    for (auto it = segment->lru.rbegin(); it != segment->lru.rend(); ++it) {
       serialize_entry(payload, it->key, it->result);
       ++count;
     }
@@ -491,16 +579,18 @@ std::size_t ServiceCycleCache::load(const std::string& path) {
   }
 
   std::size_t loaded = 0;
-  {
-    std::lock_guard lock(mutex_);
-    for (auto& [key, result] : entries) {
-      if (insert_locked(std::move(key), std::move(result))) {
-        ++loaded;
-      }
+  for (auto& [key, result] : entries) {
+    Segment& segment = segment_for(key);
+    std::lock_guard lock(segment.mutex);
+    if (insert_locked(segment, std::move(key), std::move(result))) {
+      ++loaded;
     }
-    evict_over_capacity_locked();
-    obs::set(obs_entries_, static_cast<std::int64_t>(lru_.size()));
   }
+  for (const auto& segment : segments_) {
+    std::lock_guard lock(segment->mutex);
+    evict_over_capacity_locked(*segment);
+  }
+  obs::set(obs_entries_, entry_count_.load(std::memory_order_relaxed));
   return loaded;
 }
 

@@ -33,8 +33,20 @@
 // garbled or version-mismatched file is ignored with a warning, never a
 // crash) and round-trips bit-exactly (doubles travel as raw bits), so a
 // replayed entry is indistinguishable from a re-simulated one.
+//
+// Sharding: at higher host-thread counts (cluster fleet threads, many
+// workers) a single mutex serializes every lookup. The cache can be
+// split into S independently-locked segments selected by the key hash
+// (which mixes the story digest, so concurrent distinct batches spread
+// across segments). Each segment keeps its own LRU order, in-flight
+// rendezvous and stats; stats() sums the segments, and save()/load()
+// serialize the merged view so the on-disk format is identical for any
+// segment count. The per-lookup outcome (hit/wait/miss) depends only on
+// which keys are resident, so hits+waits+misses and admission rejects
+// are invariant across segment counts.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -45,6 +57,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "accel/accelerator.hpp"
 #include "data/types.hpp"
@@ -53,6 +66,7 @@
 
 namespace mann::serve {
 class EvictionPolicy;  // serve/eviction.hpp (victim choice machinery)
+enum class EvictionPolicyKind : std::uint8_t;
 }  // namespace mann::serve
 
 namespace mann::accel {
@@ -112,11 +126,17 @@ class ServiceCycleCache {
   static constexpr std::uint32_t kPersistVersion = 1;
 
   /// `capacity` bounds resident entries; the least recently used entry is
-  /// evicted on overflow. Throws std::invalid_argument when 0. When
-  /// `metrics` is set the cache mirrors its stats into
-  /// "accel.cycle_cache.*" counters (non-owning; may be null).
+  /// evicted on overflow. Throws std::invalid_argument when `capacity` or
+  /// `segments` is 0. When `metrics` is set the cache mirrors its stats
+  /// into "accel.cycle_cache.*" counters (non-owning; may be null).
+  /// `segments` splits the cache into that many independently-locked
+  /// shards (key-hash selected; capacity divides evenly, rounded up).
+  /// With more than one segment and a registry, per-segment
+  /// "accel.cycle_cache.segment.<i>.{hits,waits,misses,contended}"
+  /// counters expose where lookups land and which locks are fought over.
   explicit ServiceCycleCache(std::size_t capacity = 1024,
-                             obs::MetricsRegistry* metrics = nullptr);
+                             obs::MetricsRegistry* metrics = nullptr,
+                             std::size_t segments = 1);
   ~ServiceCycleCache();
 
   ServiceCycleCache(const ServiceCycleCache&) = delete;
@@ -147,8 +167,16 @@ class ServiceCycleCache {
   /// Delegates capacity-eviction victim choice to a serve::EvictionPolicy
   /// (candidates: recency = touch order, frequency = per-entry hits,
   /// reload cost = the entry's simulated cycles). Null restores the
-  /// built-in O(1) LRU order.
+  /// built-in O(1) LRU order. A sharded cache needs one policy instance
+  /// per segment, so this overload throws std::invalid_argument when
+  /// segments() > 1 — use the kind overload there.
   void set_eviction_policy(std::unique_ptr<serve::EvictionPolicy> policy);
+
+  /// Same, by policy kind: constructs one independent policy per segment
+  /// via serve::make_eviction_policy(kind, metrics), so it works for any
+  /// segment count.
+  void set_eviction_policy(serve::EvictionPolicyKind kind,
+                           obs::MetricsRegistry* metrics = nullptr);
 
   // ---- cross-run persistence ----
 
@@ -168,6 +196,9 @@ class ServiceCycleCache {
   [[nodiscard]] ServiceCycleCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t segments() const noexcept {
+    return segments_.size();
+  }
   void clear();
 
  private:
@@ -181,24 +212,47 @@ class ServiceCycleCache {
     std::uint64_t hits = 0;       ///< lookups resolved by this entry
   };
 
-  /// Inserts without claiming in-flight ownership (load() path); the
-  /// lock must be held. Returns false when the key is already resident.
-  bool insert_locked(Key key, RunResult result);
-  /// Evicts past capacity_ via the installed policy (or LRU); the lock
-  /// must be held.
-  void evict_over_capacity_locked();
+  /// One independently-locked shard: its own LRU order, in-flight
+  /// rendezvous, recency clock and stats. Never crosses into another
+  /// segment, so two threads on different segments never contend.
+  struct Segment {
+    mutable std::mutex mutex;
+    std::condition_variable ready;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    std::unordered_set<Key, KeyHash> in_flight;
+    ServiceCycleCacheStats stats;
+    std::uint64_t touch_counter = 0;
+    sim::Cycle admission_floor = 0;
+    std::unique_ptr<serve::EvictionPolicy> eviction;
+    // Mirrored per-segment obs instruments (null without a registry or
+    // for a single-segment cache).
+    obs::Counter* obs_hits = nullptr;
+    obs::Counter* obs_waits = nullptr;
+    obs::Counter* obs_misses = nullptr;
+    obs::Counter* obs_contended = nullptr;  ///< lock acquisitions that blocked
+  };
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
+  [[nodiscard]] Segment& segment_for(const Key& key) noexcept;
+  /// Locks `segment.mutex`, counting the acquisition as contended when
+  /// another thread already holds it.
+  [[nodiscard]] std::unique_lock<std::mutex> lock_segment(Segment& segment);
+  /// Inserts without claiming in-flight ownership (load() path); the
+  /// segment lock must be held. Returns false when the key is already
+  /// resident.
+  bool insert_locked(Segment& segment, Key key, RunResult result);
+  /// Evicts past the segment's share of capacity via the installed policy
+  /// (or LRU); the segment lock must be held.
+  void evict_over_capacity_locked(Segment& segment);
+
   std::size_t capacity_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  std::unordered_set<Key, KeyHash> in_flight_;
-  ServiceCycleCacheStats stats_;
-  std::uint64_t touch_counter_ = 0;
-  sim::Cycle admission_floor_ = 0;
-  std::unique_ptr<serve::EvictionPolicy> eviction_;
-  // Mirrored obs instruments (null without a registry).
+  std::size_t segment_capacity_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  /// Resident entries across all segments, maintained atomically so the
+  /// entries gauge never needs a cross-segment lock sweep.
+  std::atomic<std::int64_t> entry_count_{0};
+  // Mirrored aggregate obs instruments (null without a registry); shared
+  // across segments — counters are atomic.
   obs::Counter* obs_hits_ = nullptr;
   obs::Counter* obs_waits_ = nullptr;
   obs::Counter* obs_misses_ = nullptr;

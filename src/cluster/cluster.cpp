@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "accel/service_cycle_cache.hpp"
+#include "cluster/fleet_pool.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/request.hpp"
 
@@ -92,6 +95,31 @@ Cluster::Cluster(ClusterConfig config,
                                           1, config_.instances)) {
   if (config_.instances == 0) {
     throw std::invalid_argument("Cluster: needs at least one instance");
+  }
+  // Callers set ServerConfig::metrics; the scheduler-level copy only
+  // happens inside each ServerSession's constructor, which runs after
+  // the fleet cache and pool are built here.
+  obs::MetricsRegistry* metrics = config_.server.scheduler.metrics
+                                      ? config_.server.scheduler.metrics
+                                      : config_.server.metrics;
+  if (config_.cache_segments > 0 &&
+      config_.server.scheduler.cycle_cache == nullptr) {
+    // Fleet-shared memoization tier: one sharded cache the whole fleet
+    // dispatches through, so a workload one instance already simulated
+    // replays everywhere. Built before (and destroyed after) the
+    // sessions that point at it.
+    const std::size_t capacity =
+        std::max<std::size_t>(1, config_.server.scheduler.cache_capacity) *
+        config_.instances;
+    fleet_cache_ = std::make_unique<accel::ServiceCycleCache>(
+        capacity, metrics, config_.cache_segments);
+    config_.server.scheduler.cycle_cache = fleet_cache_.get();
+  }
+  if (config_.fleet_threads > 1) {
+    // More threads than instances cannot help: each barrier has exactly
+    // one task per instance.
+    pool_ = std::make_unique<FleetPool>(
+        std::min(config_.fleet_threads, config_.instances), metrics);
   }
   instances_.reserve(config_.instances);
   for (std::size_t i = 0; i < config_.instances; ++i) {
@@ -245,13 +273,35 @@ Cluster::Submission Cluster::submit(const serve::SubmitRequest& request) {
 }
 
 bool Cluster::step_until(sim::Cycle limit) {
+  const std::size_t n = instances_.size();
   bool quiescent = true;
   sim::Cycle reached = limit;
-  for (auto& instance : instances_) {
-    quiescent = instance->session->step_until(limit) && quiescent;
-    if (limit == sim::kNever) {
-      reached = std::max(reached == sim::kNever ? 0 : reached,
-                         instance->session->now());
+  if (pool_ != nullptr) {
+    // Fan the advance out across the fleet pool: between barriers the
+    // sessions share no mutable state (obs sinks are thread-safe, a
+    // shared cycle cache is internally locked), and each task writes
+    // only its own slot, so the join-then-fold below reads exactly what
+    // a sequential walk would have computed — in the same order.
+    std::vector<unsigned char> quiet(n, 1);
+    std::vector<sim::Cycle> now(n, 0);
+    pool_->run(n, [&](std::size_t i) {
+      serve::ServerSession& session = *instances_[i]->session;
+      quiet[i] = session.step_until(limit) ? 1 : 0;
+      now[i] = session.now();
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      quiescent = quiet[i] != 0 && quiescent;
+      if (limit == sim::kNever) {
+        reached = std::max(reached == sim::kNever ? 0 : reached, now[i]);
+      }
+    }
+  } else {
+    for (auto& instance : instances_) {
+      quiescent = instance->session->step_until(limit) && quiescent;
+      if (limit == sim::kNever) {
+        reached = std::max(reached == sim::kNever ? 0 : reached,
+                           instance->session->now());
+      }
     }
   }
   clock_ = std::max(clock_, reached == sim::kNever ? clock_ : reached);
@@ -495,5 +545,52 @@ ClusterInfo Cluster::info() const {
 }
 
 const char* Cluster::policy_name() const noexcept { return policy_->name(); }
+
+namespace {
+
+[[nodiscard]] bool summaries_identical(const serve::LatencySummary& a,
+                                       const serve::LatencySummary& b) {
+  // Exact double equality on purpose: both sides fold the same merged
+  // stream in the same order, so any drift is a determinism bug.
+  return a.mean_cycles == b.mean_cycles && a.p50_cycles == b.p50_cycles &&
+         a.p95_cycles == b.p95_cycles && a.p99_cycles == b.p99_cycles &&
+         a.max_cycles == b.max_cycles;
+}
+
+}  // namespace
+
+bool simulated_cluster_reports_identical(const ClusterReport& a,
+                                         const ClusterReport& b) {
+  if (!(a.instances == b.instances && a.policy == b.policy &&
+        a.offered == b.offered && a.completed == b.completed &&
+        a.rejected == b.rejected && a.router_shed == b.router_shed &&
+        a.makespan_cycles == b.makespan_cycles &&
+        summaries_identical(a.latency, b.latency) &&
+        summaries_identical(a.queue_wait, b.queue_wait) &&
+        a.deadline_total == b.deadline_total &&
+        a.deadline_missed == b.deadline_missed &&
+        a.instance_fairness == b.instance_fairness &&
+        a.model_uploads == b.model_uploads &&
+        a.warm_dispatch_rate == b.warm_dispatch_rate &&
+        a.energy.dynamic_joules == b.energy.dynamic_joules &&
+        a.energy.link_joules == b.energy.link_joules &&
+        a.energy.static_joules == b.energy.static_joules &&
+        a.energy.per_inference_joules == b.energy.per_inference_joules &&
+        a.mean_active_instances == b.mean_active_instances &&
+        a.scale_ups == b.scale_ups && a.scale_downs == b.scale_downs &&
+        a.instance_reports.size() == b.instance_reports.size())) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.instance_reports.size(); ++i) {
+    const InstanceReport& ia = a.instance_reports[i];
+    const InstanceReport& ib = b.instance_reports[i];
+    if (!(ia.id == ib.id && ia.routed == ib.routed &&
+          ia.active_cycles == ib.active_cycles &&
+          serve::simulated_reports_identical(ia.report, ib.report))) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace mann::cluster

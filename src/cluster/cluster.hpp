@@ -43,7 +43,13 @@
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 
+namespace mann::accel {
+class ServiceCycleCache;  // accel/service_cycle_cache.hpp
+}  // namespace mann::accel
+
 namespace mann::cluster {
+
+class FleetPool;  // cluster/fleet_pool.hpp
 
 struct ClusterConfig {
   /// Fleet size. Every instance is built from the same server template.
@@ -56,6 +62,21 @@ struct ClusterConfig {
   serve::ServerConfig server;
   RouterConfig router;
   AutoscalerConfig autoscaler;
+  /// Host threads advancing instances between routing barriers (a
+  /// cluster::FleetPool). 0 or 1 = sequential on the simulation thread;
+  /// more are clamped to the fleet size. Purely a host-side knob: every
+  /// simulated number is bit-identical for any value (test-gated).
+  std::size_t fleet_threads = 0;
+  /// When > 0, the cluster owns one accel::ServiceCycleCache with this
+  /// many independently-locked segments, shared by every instance (each
+  /// instance's scheduler.cycle_cache points at it; an explicitly
+  /// configured server.scheduler.cycle_cache wins). Cached results are
+  /// pure function values, so sharing never changes a simulated number —
+  /// it only keeps fleet threads from re-simulating workloads a sibling
+  /// already paid for, without serializing on one mutex. Capacity is
+  /// scheduler.cache_capacity scaled by the fleet size. 0 = no fleet
+  /// cache (each instance keeps whatever its template says).
+  std::size_t cache_segments = 0;
 };
 
 /// One instance's slice of the cluster outcome.
@@ -203,6 +224,11 @@ class Cluster {
   ClusterConfig config_;
   std::unique_ptr<RouterPolicy> policy_;
   Autoscaler autoscaler_;
+  /// Fleet-shared cycle cache (config_.cache_segments > 0); must outlive
+  /// the instances whose schedulers point at it.
+  std::unique_ptr<accel::ServiceCycleCache> fleet_cache_;
+  /// Host threads for step_until fan-out (config_.fleet_threads > 1).
+  std::unique_ptr<FleetPool> pool_;
   std::vector<std::unique_ptr<Instance>> instances_;
   /// Shared task registry for the closed-loop generator in run().
   std::vector<serve::TaskWorkload> workloads_;
@@ -216,5 +242,16 @@ class Cluster {
   std::vector<double> latency_samples_;
   std::vector<double> queue_wait_samples_;
 };
+
+/// True when every deterministic field of the two fleet reports matches:
+/// routing counts, merged-stream percentiles, deadlines, fairness,
+/// energy, autoscaler decisions and each instance's simulated report
+/// (serve::simulated_reports_identical per instance). Host-execution
+/// fields — wall clock, cycle-cache hit rates — are excluded, exactly as
+/// in the per-server predicate. This is the fleet-thread-count
+/// invariance gate: reports from the same (config, models, schedule) at
+/// different --fleet-threads must satisfy it bit-for-bit.
+[[nodiscard]] bool simulated_cluster_reports_identical(
+    const ClusterReport& a, const ClusterReport& b);
 
 }  // namespace mann::cluster

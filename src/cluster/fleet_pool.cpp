@@ -1,0 +1,111 @@
+#include "cluster/fleet_pool.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace mann::cluster {
+
+namespace {
+constexpr std::size_t kNoError = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+FleetPool::FleetPool(std::size_t threads, obs::MetricsRegistry* metrics)
+    : error_index_(kNoError),
+      obs_rounds_(obs::counter(metrics, "cluster.fleet_pool.rounds")),
+      obs_tasks_(obs::counter(metrics, "cluster.fleet_pool.tasks")) {
+  if (threads <= 1) {
+    return;  // inline mode: run() is the sequential loop
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+FleetPool::~FleetPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void FleetPool::drain_round(std::unique_lock<std::mutex>& lock) {
+  while (next_ < count_) {
+    const std::size_t index = next_++;
+    const Task* fn = fn_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err != nullptr && index < error_index_) {
+      // Keep the lowest-index failure: it is the one a sequential walk
+      // would have surfaced, so the rethrow is thread-count invariant.
+      error_index_ = index;
+      error_ = err;
+    }
+    if (--remaining_ == 0 && caller_waiting_) {
+      round_done_.notify_one();
+    }
+  }
+}
+
+void FleetPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    ++idle_;
+    work_ready_.wait(lock, [&] { return stopping_ || next_ < count_; });
+    --idle_;
+    if (next_ < count_) {
+      drain_round(lock);
+    } else if (stopping_) {
+      return;
+    }
+  }
+}
+
+void FleetPool::run(std::size_t count, const Task& fn) {
+  obs::add(obs_rounds_);
+  obs::add(obs_tasks_, static_cast<std::int64_t>(count));
+  if (threads_.empty() || count <= 1) {
+    // Sequential semantics, including stop-at-first-throw.
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  fn_ = &fn;
+  count_ = count;
+  next_ = 0;
+  remaining_ = count;
+  error_ = nullptr;
+  error_index_ = kNoError;
+  // Counted notification: wake only as many workers as can claim a task.
+  const std::size_t wake = std::min(count, idle_);
+  for (std::size_t i = 0; i < wake; ++i) {
+    work_ready_.notify_one();
+  }
+  caller_waiting_ = true;
+  round_done_.wait(lock, [&] { return remaining_ == 0; });
+  caller_waiting_ = false;
+  count_ = 0;
+  next_ = 0;
+  fn_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    error_index_ = kNoError;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace mann::cluster

@@ -1,0 +1,92 @@
+// Host-side fleet pool for the parallel cluster runtime.
+//
+// Between routing barriers the cluster's ServerSession instances are
+// independent discrete-event simulations: no request moves between them
+// except through Cluster::submit, and every simulated number is a pure
+// function of (config, models, arrival schedule). Cluster::step_until
+// therefore fans each instance's advance out across this pool and joins
+// before the next routing decision — the barrier is the only
+// synchronization point, so routing, the merged completion stream and
+// every simulated report stay bit-identical for any thread count (the
+// same invariant serve::WorkerPool established for batch speculation,
+// one level up).
+//
+// The handoff is barrier-shaped, not queue-shaped: run(count, fn) opens
+// a round, workers claim indices from a shared cursor under the one
+// mutex, and the caller blocks until the round drains. Wakeups follow
+// the repo's counted-notification discipline — a round start signals at
+// most min(count, idle) parked workers, and the round-done signal fires
+// only when the caller is actually waiting. With zero or one thread the
+// pool runs the round inline on the caller, byte-for-byte the
+// sequential loop, which is the `--fleet-threads 0` escape hatch.
+//
+// Exceptions: a throwing task poisons the round but never the pool. All
+// claimed tasks still run to completion (instances must not be left
+// mid-step behind a barrier), and run() rethrows the exception from the
+// lowest task index that threw — matching which exception a sequential
+// walk would have surfaced first, so failure is deterministic too.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mann::cluster {
+
+class FleetPool {
+ public:
+  using Task = std::function<void(std::size_t)>;
+
+  /// Spawns `threads` persistent workers; 0 or 1 spawns none and every
+  /// run() executes inline on the caller. `metrics`, when set, receives
+  /// "cluster.fleet_pool.*" counters (non-owning; may be null). The
+  /// rounds/tasks counters are deterministic — one round per barrier,
+  /// one task per instance — unlike typical host-domain counters.
+  explicit FleetPool(std::size_t threads,
+                     obs::MetricsRegistry* metrics = nullptr);
+
+  /// Finishes any in-flight round, then joins every worker.
+  ~FleetPool();
+
+  FleetPool(const FleetPool&) = delete;
+  FleetPool& operator=(const FleetPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Runs fn(0) .. fn(count-1) across the pool and blocks until all
+  /// complete. Not reentrant: one round at a time, driven by the one
+  /// simulation thread. Rethrows the lowest-index exception after the
+  /// round drains.
+  void run(std::size_t count, const Task& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and runs tasks until the round's cursor is exhausted; the
+  /// lock must be held on entry and is held again on return.
+  void drain_round(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;  ///< round opened (workers park here)
+  std::condition_variable round_done_;  ///< last task finished
+  const Task* fn_ = nullptr;
+  std::size_t count_ = 0;      ///< tasks in the open round
+  std::size_t next_ = 0;       ///< claim cursor
+  std::size_t remaining_ = 0;  ///< claimed-or-unclaimed tasks not yet done
+  std::size_t idle_ = 0;       ///< workers parked in work_ready_.wait
+  bool caller_waiting_ = false;
+  bool stopping_ = false;
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+  std::vector<std::thread> threads_;
+  // Mirrored obs instruments (null without a registry).
+  obs::Counter* obs_rounds_ = nullptr;
+  obs::Counter* obs_tasks_ = nullptr;
+};
+
+}  // namespace mann::cluster

@@ -321,6 +321,8 @@ ClusterMeasurement measure_cluster(const std::vector<TaskArtifacts>& suite,
   config.server = build_server_config(options);
   config.router = cluster_options.router;
   config.autoscaler = cluster_options.autoscaler;
+  config.fleet_threads = cluster_options.fleet_threads;
+  config.cache_segments = cluster_options.cache_segments;
 
   cluster::Cluster fleet(std::move(config), models);
 
@@ -331,7 +333,10 @@ ClusterMeasurement measure_cluster(const std::vector<TaskArtifacts>& suite,
       " N=" + std::to_string(options.pool_devices) +
       " B=" + std::to_string(options.max_batch) +
       (cluster_options.autoscaler.enabled ? " +autoscale" : "") +
-      (options.workers > 0 ? " W=" + std::to_string(options.workers) : "");
+      (options.workers > 0 ? " W=" + std::to_string(options.workers) : "") +
+      (cluster_options.fleet_threads > 1
+           ? " F=" + std::to_string(cluster_options.fleet_threads)
+           : "");
 
   const auto start = std::chrono::steady_clock::now();
   measurement.report = fleet.run(options.requests);

@@ -170,6 +170,11 @@ struct ClusterServingOptions {
   std::size_t instances = 4;
   cluster::RouterConfig router;
   cluster::AutoscalerConfig autoscaler;
+  /// Host threads advancing instances between routing barriers (0/1 =
+  /// sequential). Moves only wall clock, never a simulated number.
+  std::size_t fleet_threads = 0;
+  /// Segments of the fleet-shared cycle cache (0 = no shared cache).
+  std::size_t cache_segments = 0;
 };
 
 /// One cluster row: the fleet report plus the host wall clock spent

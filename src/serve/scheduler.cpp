@@ -64,13 +64,14 @@ Scheduler::Scheduler(SchedulerConfig config,
   if (cache_ == nullptr && config_.workers > 0) {
     owned_cache_ = std::make_unique<accel::ServiceCycleCache>(
         config_.cache_capacity == 0 ? 1 : config_.cache_capacity,
-        config_.metrics);
+        config_.metrics,
+        config_.cache_segments == 0 ? 1 : config_.cache_segments);
     // Cost-informed sizing for the owned cache: evict the entry cheapest
     // to re-simulate (its cycles ARE its reload cost), and refuse entries
     // below the admission floor outright. External caches are configured
     // by their owner (the bench's persistent cache wants everything).
-    owned_cache_->set_eviction_policy(
-        make_eviction_policy(EvictionPolicyKind::kCostAware, nullptr));
+    owned_cache_->set_eviction_policy(EvictionPolicyKind::kCostAware,
+                                      nullptr);
     if (config_.cycle_cache_min_cycles > 0) {
       owned_cache_->set_admission_floor(config_.cycle_cache_min_cycles);
     }

@@ -141,6 +141,37 @@ TEST(CycleCachePersist, RoundTripIsBitIdentical) {
   std::remove(path.c_str());
 }
 
+TEST(CycleCachePersist, SegmentCountIsNotPartOfTheOnDiskFormat) {
+  // A sharded cache saves a merged view; any segmentation loads it.
+  // Save from 4 segments, reload into 1 and 8: every entry must replay
+  // bit-identically — the file format stays v1, segment-agnostic.
+  const std::string path = temp_path("cycle_cache_segments.bin");
+  std::remove(path.c_str());
+
+  // Capacity / segments stays >= the entry count so the per-segment
+  // LRU bound can never evict, however unevenly the keys hash.
+  ServiceCycleCache sharded(128, nullptr, 4);
+  std::vector<ServiceCycleCache::Key> keys;
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    keys.push_back({k * 31 + 5, k * 17 + 9, 3, k % 2 == 0});
+    seed_entry(sharded, keys.back(), rich_result(k));
+  }
+  ASSERT_EQ(sharded.save(path), keys.size());
+
+  for (const std::size_t segments : {1u, 8u}) {
+    ServiceCycleCache reloaded(128, nullptr, segments);
+    ASSERT_EQ(reloaded.load(path), keys.size()) << segments << " segments";
+    EXPECT_EQ(reloaded.size(), keys.size());
+    for (std::uint64_t k = 0; k < keys.size(); ++k) {
+      const std::optional<RunResult> seen = reloaded.acquire(keys[k]);
+      ASSERT_TRUE(seen.has_value())
+          << "key " << k << " lost at " << segments << " segments";
+      expect_bit_identical(rich_result(k), *seen);
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(CycleCachePersist, RoundTripsRealSimulationResults) {
   const std::string path = temp_path("cycle_cache_real.bin");
   std::remove(path.c_str());

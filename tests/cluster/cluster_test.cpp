@@ -1,14 +1,17 @@
 // Cluster: the fleet-level determinism contract. A cluster of one is
 // bit-identical to a bare Server on every simulated report field; the
-// host worker count changes nothing about routing or the per-instance
-// timelines; the merged completion stream is a (cycle, id)-sorted ledger
-// over disjoint id ranges; and an autoscaled fleet beats a fixed one on
-// fleet energy for a bursty-then-quiet (diurnal) schedule.
+// host worker count and the fleet-thread count change nothing about
+// routing, the per-instance timelines, or the merged completion stream;
+// that stream is a (cycle, id)-sorted ledger over disjoint id ranges;
+// and an autoscaled fleet beats a fixed one on fleet energy for a
+// bursty-then-quiet (diurnal) schedule.
 #include "cluster/cluster.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include "serve/metrics.hpp"
@@ -133,6 +136,76 @@ TEST(Cluster, HostWorkerCountChangesNeitherRoutingNorTimelines) {
           serial.instance_reports[i].report))
           << "instance " << i << " report diverged at workers run " << r;
     }
+  }
+}
+
+TEST(Cluster, FleetThreadCountChangesNoSimulatedReportField) {
+  const auto stories = tiny_stories(8);
+  const auto models = two_models(stories);
+  // 4x the fixed schedule so four instances all see traffic.
+  const auto trace = serve::scale_trace(fixed_trace(), 4, 2019);
+
+  std::vector<ClusterReport> reports;
+  for (const std::size_t threads : {0u, 1u, 2u, 4u}) {
+    ClusterConfig config =
+        cluster_config(4, trace, RouterPolicyKind::kPowerOfTwo);
+    config.fleet_threads = threads;
+    // Exercise the fleet-shared sharded cache in every run: concurrent
+    // instances hitting the same segments must not perturb anything.
+    config.cache_segments = 4;
+    Cluster cluster(config, models);
+    reports.push_back(cluster.run(trace.size()));
+  }
+
+  EXPECT_EQ(reports.front().offered, trace.size());
+  for (std::size_t r = 1; r < reports.size(); ++r) {
+    EXPECT_TRUE(
+        simulated_cluster_reports_identical(reports.front(), reports[r]))
+        << "fleet report diverged at thread-count run " << r;
+  }
+}
+
+TEST(Cluster, MergedStreamIsByteIdenticalAcrossFleetThreadCounts) {
+  const auto stories = tiny_stories(8);
+  const auto models = two_models(stories);
+
+  // (cycle, id, instance) tuples in poll order — the full observable
+  // completion ledger, live windows and drain tail alike.
+  using Tuple = std::tuple<sim::Cycle, std::uint64_t, InstanceId>;
+  const auto run_stream = [&](std::size_t threads) {
+    ClusterConfig config =
+        cluster_config(4, {}, RouterPolicyKind::kPowerOfTwo);
+    config.fleet_threads = threads;
+    config.cache_segments = threads > 1 ? 2 * threads : 1;
+    Cluster cluster(config, models);
+    std::vector<Tuple> stream;
+    const auto drain_window = [&] {
+      for (const ClusterCompletion& c : cluster.poll_completions()) {
+        stream.emplace_back(c.completion.cycle, c.completion.response.id,
+                            c.instance);
+      }
+    };
+    constexpr std::size_t kRequests = 30;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      serve::SubmitRequest request;
+      request.task = i % 2;
+      request.tenant = static_cast<serve::TenantId>(i % 3);
+      request.at_cycle = 1'000 + static_cast<sim::Cycle>(i) * 2'000;
+      (void)cluster.submit(request);
+      (void)cluster.step_until(cluster.last_submitted_arrival());
+      drain_window();
+    }
+    cluster.drain();
+    (void)cluster.step_until(sim::kNever);
+    drain_window();
+    return stream;
+  };
+
+  const std::vector<Tuple> sequential = run_stream(0);
+  EXPECT_EQ(sequential.size(), 30u);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    EXPECT_EQ(run_stream(threads), sequential)
+        << "merged stream diverged at " << threads << " fleet threads";
   }
 }
 

@@ -1,0 +1,101 @@
+// FleetPool: the barrier-shaped host pool behind parallel
+// Cluster::step_until. Contract under test: every round runs each index
+// exactly once and joins before run() returns; the pool is reusable
+// across many rounds (workers park, they don't exit); 0/1 threads
+// degrade to the inline sequential path; and a throwing task poisons
+// only its round — all claimed tasks still finish, run() rethrows the
+// lowest-index exception (what a sequential walk would surface), and
+// the next round works.
+#include "cluster/fleet_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mann::cluster {
+namespace {
+
+TEST(FleetPool, EveryIndexRunsExactlyOncePerRound) {
+  FleetPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> counts(16);
+    pool.run(16, [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i << " round " << round;
+    }
+  }
+}
+
+TEST(FleetPool, RoundsSmallerAndLargerThanThePoolBothDrain) {
+  FleetPool pool(4);
+  for (const std::size_t count : {1u, 2u, 3u, 4u, 5u, 9u, 64u}) {
+    std::atomic<std::size_t> ran{0};
+    pool.run(count, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), count);
+  }
+}
+
+TEST(FleetPool, ZeroAndOneThreadRunInlineInIndexOrder) {
+  for (const std::size_t threads : {0u, 1u}) {
+    FleetPool pool(threads);
+    EXPECT_EQ(pool.size(), 0u) << threads << " threads spawns no workers";
+    std::vector<std::size_t> order;
+    pool.run(5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(FleetPool, InlineModeStopsAtTheFirstThrowLikeASequentialLoop) {
+  FleetPool pool(0);
+  std::vector<int> ran(6, 0);
+  EXPECT_THROW(pool.run(6,
+                        [&](std::size_t i) {
+                          if (i == 3) {
+                            throw std::runtime_error("boom");
+                          }
+                          ran[i] = 1;
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 1, 0, 0, 0}));
+}
+
+TEST(FleetPool, RethrowsTheLowestIndexExceptionAndSurvivesTheRound) {
+  FleetPool pool(4);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    std::atomic<std::size_t> ran{0};
+    try {
+      pool.run(8, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i % 2 == 1) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "run() swallowed the round's exceptions";
+    } catch (const std::runtime_error& error) {
+      // Deterministic failure: of the four throwers {1,3,5,7}, the
+      // lowest index wins regardless of host scheduling.
+      EXPECT_STREQ(error.what(), "boom 1");
+    }
+    // Poisoned round, healthy pool: every task still ran (instances
+    // must never be abandoned mid-step), and the next round is clean.
+    EXPECT_EQ(ran.load(), 8u);
+    std::atomic<std::size_t> after{0};
+    pool.run(4, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 4u);
+  }
+}
+
+TEST(FleetPool, EmptyRoundIsANoOp) {
+  FleetPool pool(2);
+  std::atomic<int> ran{0};
+  pool.run(0, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+}  // namespace
+}  // namespace mann::cluster

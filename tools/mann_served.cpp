@@ -58,6 +58,9 @@
 // the trace is served by Cluster::run() and the report JSON switches to
 // the fleet schema. A --cluster 1 closed loop reproduces the bare
 // server's simulated timeline exactly (the CI identity gate).
+// --fleet-threads N advances the instances on N host threads between
+// routing barriers over a sharded fleet-shared cycle cache; every line
+// the daemon emits is bit-identical for any N (wall clock only).
 //
 // Workload: --tiny N serves N synthetic untrained tasks (shape-only cost
 // model; instant startup, used by the pipe-driven tests); --tasks K
@@ -109,6 +112,10 @@ struct DaemonOptions {
   std::size_t max_batch = 8;
   std::optional<serve::SchedulerPolicy> policy;  ///< default: see below
   std::size_t cluster = 0;  ///< fleet size (0 = single bare session)
+  /// Host threads advancing the fleet between routing barriers (0/1 =
+  /// sequential); >1 also shards a fleet-shared cycle cache 2x this
+  /// wide. Wall-clock only — every simulated line is thread-invariant.
+  std::size_t fleet_threads = 0;
   cluster::RouterPolicyKind router = cluster::RouterPolicyKind::kPowerOfTwo;
   bool lockstep = false;
   std::size_t info_every = 0;  ///< info line per N resolved requests
@@ -125,7 +132,8 @@ struct DaemonOptions {
       "                   [--tenants N] [--slo CYCLES] [--devices N]\n"
       "                   [--dedicated N] [--max-batch B]\n"
       "                   [--policy fifo|edf|wfq] [--lockstep]\n"
-      "                   [--cluster N] [--router affinity|p2c|spill]\n"
+      "                   [--cluster N] [--fleet-threads N]\n"
+      "                   [--router affinity|p2c|spill]\n"
       "                   [--info-every N] [--report-json PATH]\n"
       "                   [--trace-json PATH] [--seed S]\n"
       "                   [--closed-loop TRACE.csv]\n"
@@ -186,6 +194,8 @@ DaemonOptions parse_args(int argc, char** argv) {
       }
     } else if (arg == "--cluster") {
       opts.cluster = count(next());
+    } else if (arg == "--fleet-threads") {
+      opts.fleet_threads = count(next());
     } else if (arg == "--router") {
       const std::string value = next();
       if (value == "affinity") {
@@ -489,6 +499,9 @@ cluster::ClusterConfig make_cluster_config(const DaemonOptions& opts,
   config.server = make_config(opts, metrics, trace);
   config.router.kind = opts.router;
   config.router.seed = opts.seed;
+  config.fleet_threads = opts.fleet_threads;
+  config.cache_segments =
+      opts.fleet_threads > 1 ? 2 * opts.fleet_threads : 0;
   return config;
 }
 
